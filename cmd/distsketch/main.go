@@ -1,0 +1,128 @@
+// distsketch is a command-line front end for building distance sketches on
+// generated networks and issuing distance queries against them.
+//
+// Usage examples:
+//
+//	distsketch -family geometric -n 256 -kind tz -k 3 -query 0:255,3:17
+//	distsketch -family barabasi-albert -n 512 -kind graceful -summary
+//	distsketch -family grid -n 100 -kind landmark -eps 0.25 -dump 5
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"distsketch"
+)
+
+func main() {
+	family := flag.String("family", distsketch.FamilyGeometric, "graph family (erdos-renyi, geometric, grid, ring, tree, barabasi-albert, small-world, hypercube)")
+	n := flag.Int("n", 256, "number of nodes")
+	minW := flag.Int64("minw", 1, "minimum edge weight")
+	maxW := flag.Int64("maxw", 100, "maximum edge weight")
+	seed := flag.Uint64("seed", 1, "random seed")
+	kind := flag.String("kind", "tz", "sketch kind: tz | landmark | cdg | graceful")
+	k := flag.Int("k", 3, "Thorup–Zwick hierarchy depth (tz, cdg)")
+	eps := flag.Float64("eps", 0.125, "slack parameter (landmark, cdg)")
+	detection := flag.Bool("detection", false, "use in-band Section 3.3 termination detection (tz only)")
+	queries := flag.String("query", "", "comma-separated u:v pairs to estimate")
+	dump := flag.Int("dump", -1, "dump node's serialized sketch as hex")
+	summary := flag.Bool("summary", true, "print construction cost summary")
+	load := flag.String("load", "", "read the network from an edge-list file instead of generating one")
+	save := flag.String("save", "", "write the generated network to an edge-list file")
+	flag.Parse()
+
+	var g *distsketch.Graph
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, err = distsketch.ReadGraph(f)
+		f.Close()
+	} else {
+		g, err = distsketch.NewRandomWeightedGraph(*family, *n, *minW, *maxW, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := distsketch.WriteGraph(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := distsketch.Build(g, distsketch.Options{
+		Kind:      distsketch.Kind(*kind),
+		K:         *k,
+		Eps:       *eps,
+		Seed:      *seed,
+		Detection: *detection,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		fmt.Printf("graph:   family=%s n=%d m=%d seed=%d\n", *family, g.N(), g.M(), *seed)
+		fmt.Printf("sketch:  kind=%s", res.Kind())
+		switch res.Kind() {
+		case distsketch.KindTZ:
+			fmt.Printf(" k=%d stretch≤%d", *k, 2**k-1)
+		case distsketch.KindCDG:
+			fmt.Printf(" k=%d eps=%g stretch≤%d (ε-slack)", *k, *eps, 8**k-1)
+		case distsketch.KindLandmark:
+			fmt.Printf(" eps=%g stretch≤3 (ε-slack)", *eps)
+		case distsketch.KindGraceful:
+			fmt.Printf(" worst stretch O(log n), avg stretch O(1)")
+		}
+		fmt.Println()
+		fmt.Printf("cost:    rounds=%d messages=%d words=%d\n", res.Rounds(), res.Messages(), res.Words())
+		fmt.Printf("size:    max=%d words, mean=%.1f words\n", res.MaxSketchWords(), res.MeanSketchWords())
+	}
+
+	if *queries != "" {
+		for _, q := range strings.Split(*queries, ",") {
+			parts := strings.SplitN(strings.TrimSpace(q), ":", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad query %q (want u:v)", q))
+			}
+			u, err1 := strconv.Atoi(parts[0])
+			v, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+				fatal(fmt.Errorf("bad query %q", q))
+			}
+			est := res.Query(u, v)
+			if est == distsketch.Inf {
+				fmt.Printf("d(%d,%d) ≈ ∞ (no common reference in sketches)\n", u, v)
+			} else {
+				fmt.Printf("d(%d,%d) ≈ %d\n", u, v, est)
+			}
+		}
+	}
+
+	if *dump >= 0 {
+		if *dump >= g.N() {
+			fatal(fmt.Errorf("node %d out of range", *dump))
+		}
+		blob := res.SketchBytes(*dump)
+		fmt.Printf("sketch of node %d (%d bytes, %d words):\n%s\n",
+			*dump, len(blob), res.SketchWords(*dump), hex.Dump(blob))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distsketch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// sketchbench runs the per-theorem reproduction experiments (E1–E12,
+// DESIGN.md §4) and prints their tables — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sketchbench                 # all experiments, quick scale
+//	sketchbench -scale full     # the EXPERIMENTS.md configuration
+//	sketchbench -exp E6,E10     # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distsketch/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "sweep scale: quick | full")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	failed := false
+	run := func(tab *experiments.Table, took time.Duration) {
+		fmt.Println(tab.String())
+		fmt.Printf("(%s)\n\n", took.Round(time.Millisecond))
+		if !tab.OK() {
+			failed = true
+		}
+	}
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	cfg := experiments.NewConfig(sc)
+	total := time.Now()
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		f := experiments.ByName(name)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		run(f(cfg), time.Since(start))
+	}
+	if *exp == "all" {
+		fmt.Printf("total: %s\n", time.Since(total).Round(time.Millisecond))
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "some paper bounds were violated")
+		os.Exit(1)
+	}
+}

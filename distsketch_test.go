@@ -1,0 +1,151 @@
+package distsketch
+
+import (
+	"fmt"
+	"testing"
+
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 64, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := graph.APSP(g)
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		res, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Kind() != kind || res.N() != 64 {
+			t.Fatalf("%s: bad result header", kind)
+		}
+		if res.Rounds() <= 0 || res.Messages() <= 0 || res.Words() < res.Messages() {
+			t.Errorf("%s: implausible cost rounds=%d msgs=%d words=%d",
+				kind, res.Rounds(), res.Messages(), res.Words())
+		}
+		if res.MaxSketchWords() <= 0 || res.MeanSketchWords() > float64(res.MaxSketchWords()) {
+			t.Errorf("%s: bad size accounting", kind)
+		}
+		// Estimates are upper bounds wherever defined.
+		rep := eval.Evaluate(ap, res.Query, eval.SamplePairs(64, 500, 1))
+		if rep.Violations != 0 {
+			t.Errorf("%s: %d estimates below true distance", kind, rep.Violations)
+		}
+	}
+}
+
+func TestSerializedEstimateMatchesDirect(t *testing.T) {
+	g, err := NewRandomGraph(FamilyER, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		res, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]int{{0, 47}, {3, 30}, {11, 12}} {
+			u, v := pair[0], pair[1]
+			direct := res.Query(u, v)
+			est, err := Estimate(res.SketchBytes(u), res.SketchBytes(v))
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if est != direct {
+				t.Errorf("%s (%d,%d): serialized %d != direct %d", kind, u, v, est, direct)
+			}
+		}
+	}
+}
+
+func TestEstimateRejectsMismatch(t *testing.T) {
+	g, _ := NewRandomGraph(FamilyRing, 16, 1)
+	a, _ := Build(g, Options{Kind: KindTZ, Seed: 1})
+	b, _ := Build(g, Options{Kind: KindLandmark, Seed: 1})
+	if _, err := Estimate(a.SketchBytes(0), b.SketchBytes(1)); err == nil {
+		t.Error("mismatched kinds accepted")
+	}
+	if _, err := Estimate(nil, a.SketchBytes(0)); err == nil {
+		t.Error("empty sketch accepted")
+	}
+}
+
+func TestDetectionOption(t *testing.T) {
+	g, _ := NewRandomGraph(FamilyGrid, 36, 2)
+	omn, err := Build(g, Options{Kind: KindTZ, K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Build(g, Options{Kind: KindTZ, K: 2, Seed: 2, Detection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 36; u++ {
+		for v := 0; v < 36; v += 5 {
+			if omn.Query(u, v) != det.Query(u, v) {
+				t.Fatalf("(%d,%d): detection and omniscient queries differ", u, v)
+			}
+		}
+	}
+	if det.Messages() <= omn.Messages() {
+		t.Errorf("detection messages %d should exceed omniscient %d", det.Messages(), omn.Messages())
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	g, _ := NewRandomGraph(FamilyTree, 32, 5)
+	res, err := Build(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind() != KindTZ {
+		t.Errorf("default kind = %s", res.Kind())
+	}
+}
+
+func TestBuildRejectsUnknownKind(t *testing.T) {
+	g, _ := NewRandomGraph(FamilyRing, 8, 1)
+	if _, err := Build(g, Options{Kind: "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestNewRandomGraphErrors(t *testing.T) {
+	if _, err := NewRandomGraph("nope", 10, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestGraphBuilderPublicPath(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 2)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, Options{Kind: KindTZ, K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Query(0, 2); d != 4 {
+		t.Errorf("Query(0,2) = %d, want 4 (k=1 is exact)", d)
+	}
+}
+
+func ExampleBuild() {
+	g, err := NewRandomGraph(FamilyRing, 8, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := Build(g, Options{Kind: KindTZ, K: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// k=1 sketches give exact distances; the ring distance 0→3 is 3.
+	fmt.Println(res.Query(0, 3))
+	// Output: 3
+}

@@ -1,0 +1,114 @@
+// Greedy routing with distance sketches — one of the applications the
+// paper's Section 2.1 motivates ("small-world routing", "search"). A
+// packet at node x holding the *target's* sketch picks the neighbor y
+// minimizing the sketch estimate of d(y, target): each node only ever
+// consults its neighbors' sketches and the one carried in the packet.
+//
+// This example measures how close greedy-by-sketch paths come to true
+// shortest paths, and how often greedy routing gets stuck in a local
+// minimum (it then falls back to the best unvisited neighbor).
+//
+// Run with: go run ./examples/greedyroute
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"distsketch"
+)
+
+func main() {
+	const n = 256
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, n, 1, 100, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d links\n\n", g.N(), g.M())
+
+	exact, err := distsketch.Build(g, distsketch.Options{Kind: distsketch.KindTZ, K: 1, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name string
+		opts distsketch.Options
+	}{
+		{"TZ k=2", distsketch.Options{Kind: distsketch.KindTZ, K: 2, Seed: 23}},
+		{"TZ k=4", distsketch.Options{Kind: distsketch.KindTZ, K: 4, Seed: 23}},
+		{"graceful", distsketch.Options{Kind: distsketch.KindGraceful, Seed: 23}},
+	} {
+		res, err := distsketch.Build(g, cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(g, exact, res, cfg.name)
+	}
+	fmt.Println("\nroute stretch ≈ 1 means greedy forwarding on sketch estimates recovers")
+	fmt.Println("near-shortest paths with only neighbor-local decisions.")
+}
+
+func run(g *distsketch.Graph, exact, res *distsketch.Result, name string) {
+	r := rand.New(rand.NewPCG(23, 7))
+	const trials = 300
+	var sumStretch float64
+	var ok, stuck int
+	for i := 0; i < trials; i++ {
+		src := int(r.Int64N(int64(g.N())))
+		dst := int(r.Int64N(int64(g.N())))
+		if src == dst {
+			continue
+		}
+		cost, reached, detours := route(g, res, src, dst)
+		if !reached {
+			stuck++
+			continue
+		}
+		d := exact.Query(src, dst)
+		if d > 0 {
+			sumStretch += float64(cost) / float64(d)
+			ok++
+		}
+		_ = detours
+	}
+	fmt.Printf("%-10s  max words %4d   route stretch %.3f   delivered %d/%d\n",
+		name, res.MaxSketchWords(), sumStretch/float64(ok), ok, ok+stuck)
+}
+
+// route forwards greedily: next hop = unvisited neighbor minimizing
+// (weight to neighbor + estimated d(neighbor, dst)).
+func route(g *distsketch.Graph, res *distsketch.Result, src, dst int) (cost distsketch.Dist, reached bool, detours int) {
+	visited := map[int]bool{src: true}
+	cur := src
+	for steps := 0; steps < 4*g.N(); steps++ {
+		if cur == dst {
+			return cost, true, detours
+		}
+		best := distsketch.Inf
+		next := -1
+		for _, arc := range g.Adj(cur) {
+			if visited[arc.To] {
+				continue
+			}
+			est := res.Query(arc.To, dst)
+			if arc.To == dst {
+				est = 0
+			}
+			score := arc.Weight + est
+			if score < best {
+				best = score
+				next = arc.To
+			}
+		}
+		if next == -1 {
+			return cost, false, detours
+		}
+		w, _ := g.EdgeWeight(cur, next)
+		cost += w
+		visited[next] = true
+		cur = next
+	}
+	return cost, false, detours
+}

@@ -1,0 +1,55 @@
+// Quickstart: build Thorup–Zwick distance sketches on a random weighted
+// network in a simulated CONGEST system, then answer distance queries from
+// pairs of sketches alone.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distsketch"
+)
+
+func main() {
+	// A 256-node random geometric network with latency-like weights —
+	// the kind of topology a network coordinate system targets.
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 256, 1, 100, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d edges\n", g.N(), g.M())
+
+	// Build stretch-5 sketches (k=3 ⇒ stretch 2k-1 = 5). The build runs
+	// the paper's distributed algorithm: every node ends up holding its
+	// own sketch, having exchanged only O(log n)-bit messages.
+	res, err := distsketch.Build(g, distsketch.Options{
+		Kind: distsketch.KindTZ,
+		K:    3,
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("construction: %d rounds, %d messages, %d words on the wire\n",
+		res.Rounds(), res.Messages(), res.Words())
+	fmt.Printf("sketch size: max %d words, mean %.1f words per node\n",
+		res.MaxSketchWords(), res.MeanSketchWords())
+
+	// Query: only the two sketches are consulted.
+	for _, pair := range [][2]int{{0, 255}, {17, 200}, {3, 4}} {
+		u, v := pair[0], pair[1]
+		fmt.Printf("estimated d(%d,%d) = %d\n", u, v, res.Query(u, v))
+	}
+
+	// The deployment story (Section 2.1 of the paper): node u asks node v
+	// for its serialized sketch and estimates the distance offline.
+	blobU, blobV := res.SketchBytes(0), res.SketchBytes(255)
+	est, err := distsketch.Estimate(blobU, blobV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized sketches: %d + %d bytes, estimate %d\n",
+		len(blobU), len(blobV), est)
+}

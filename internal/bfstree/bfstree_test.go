@@ -1,0 +1,165 @@
+package bfstree
+
+import (
+	"testing"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/graph"
+)
+
+func build(t *testing.T, g *graph.Graph, root int) *Tree {
+	t.Helper()
+	tr, err := Build(g, root, congest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildAllFamilies(t *testing.T) {
+	for _, f := range graph.AllFamilies() {
+		g := graph.Make(f, 64, graph.UniformWeights(1, 9), 5)
+		tr := build(t, g, g.N()-1)
+		if tr.Root != g.N()-1 {
+			t.Errorf("%s: wrong root", f)
+		}
+	}
+}
+
+func TestBuildPathShape(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights(), 0)
+	tr := build(t, g, 0)
+	for u := 1; u < 5; u++ {
+		if tr.Parent[u] != u-1 {
+			t.Errorf("parent[%d] = %d, want %d", u, tr.Parent[u], u-1)
+		}
+		if tr.Depth[u] != u {
+			t.Errorf("depth[%d] = %d, want %d", u, tr.Depth[u], u)
+		}
+	}
+	// DFS numbers on a path from the root are 0..4 in order.
+	for u := 0; u < 5; u++ {
+		if tr.In[u] != u || tr.Out[u] != 5 {
+			t.Errorf("interval[%d] = [%d,%d), want [%d,5)", u, tr.In[u], tr.Out[u], u)
+		}
+	}
+}
+
+func TestBuildRoundsNearDiameter(t *testing.T) {
+	g := graph.Make(graph.FamilyGrid, 100, graph.UnitWeights(), 3)
+	d := graph.HopDiameter(g)
+	tr := build(t, g, 0)
+	// Echo BFS + size convergecast + interval downcast: O(D) rounds with
+	// a small constant (FIFO collisions add slack).
+	if tr.Stats.Rounds > 8*d+10 {
+		t.Errorf("rounds %d > 8D+10 = %d", tr.Stats.Rounds, 8*d+10)
+	}
+	// O(|E|) messages for BFS plus O(n) for the sweeps.
+	budget := int64(6*g.M() + 6*g.N())
+	if tr.Stats.Messages > budget {
+		t.Errorf("messages %d > budget %d", tr.Stats.Messages, budget)
+	}
+}
+
+func TestIntervalNesting(t *testing.T) {
+	g := graph.Make(graph.FamilyBA, 80, graph.UnitWeights(), 7)
+	tr := build(t, g, g.N()-1)
+	// In[] is a permutation.
+	seen := make([]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		if tr.In[u] < 0 || tr.In[u] >= g.N() || seen[tr.In[u]] {
+			t.Fatalf("In[%d] = %d invalid", u, tr.In[u])
+		}
+		seen[tr.In[u]] = true
+	}
+	// Child intervals nest strictly inside the parent's.
+	for u := 0; u < g.N(); u++ {
+		for _, c := range tr.Children[u] {
+			if tr.In[c] <= tr.In[u] || tr.Out[c] > tr.Out[u] {
+				t.Fatalf("child %d interval [%d,%d) not inside parent %d [%d,%d)",
+					c, tr.In[c], tr.Out[c], u, tr.In[u], tr.Out[u])
+			}
+		}
+	}
+}
+
+func TestNextHopRouting(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 60, nil, 9)
+	tr := build(t, g, g.N()-1)
+	// Route from every node to every target; must arrive within 2·height
+	// hops, moving only along tree edges.
+	h := tr.Height()
+	for u := 0; u < g.N(); u += 7 {
+		for v := 0; v < g.N(); v += 5 {
+			cur := u
+			steps := 0
+			for cur != v {
+				next, err := tr.NextHop(cur, tr.In[v])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if next == cur {
+					break
+				}
+				cur = next
+				steps++
+				if steps > 2*h+2 {
+					t.Fatalf("routing %d→%d exceeded 2·height", u, v)
+				}
+			}
+			if cur != v {
+				t.Fatalf("routing %d→%d stalled at %d", u, v, cur)
+			}
+		}
+	}
+}
+
+func TestByIn(t *testing.T) {
+	g := graph.Path(6, graph.UnitWeights(), 0)
+	tr := build(t, g, 0)
+	for u := 0; u < 6; u++ {
+		if got := tr.ByIn(tr.In[u]); got != u {
+			t.Errorf("ByIn(In[%d]) = %d", u, got)
+		}
+	}
+	if tr.ByIn(99) != -1 {
+		t.Error("ByIn out of range should be -1")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 0)
+	if _, err := Build(g, 9, congest.Config{}); err == nil {
+		t.Error("bad root accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	disc := b.MustFreeze()
+	if _, err := Build(disc, 0, congest.Config{}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.NewBuilder(1).MustFreeze()
+	tr, err := Build(g, 0, congest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.In[0] != 0 || tr.Out[0] != 1 || tr.Parent[0] != -1 {
+		t.Errorf("singleton tree wrong: %+v", tr)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g := graph.Make(graph.FamilyER, 512, graph.UnitWeights(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, g.N()-1, congest.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package congest
+
+// Delivery scheduling for the asynchronous mode (Config.MaxDelay > 1): a
+// binary min-heap ordered by (due round, send sequence). The sequence
+// component makes pop order — and therefore inbox order — deterministic,
+// which keeps async runs reproducible for a fixed seed.
+
+type futureDelivery struct {
+	due int
+	seq int64
+	to  int
+	inc Incoming
+}
+
+type futureHeap []futureDelivery
+
+func fhLess(a, b futureDelivery) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+
+func heapPush(h *futureHeap, d futureDelivery) {
+	*h = append(*h, d)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !fhLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func heapPop(h *futureHeap) futureDelivery {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && fhLess((*h)[l], (*h)[smallest]) {
+			smallest = l
+		}
+		if r < len(*h) && fhLess((*h)[r], (*h)[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,543 @@
+// Package congest implements a deterministic simulator for the standard
+// synchronous CONGEST model of distributed computation (Peleg 2000), the
+// model the paper's algorithms are stated in (Section 2.2 of the paper):
+//
+//   - Computation proceeds in synchronous rounds.
+//   - In each round, every node may send one message of O(log n) bits
+//     (a constant number of "words") through each incident edge.
+//   - A message sent in round r arrives at the other endpoint at the
+//     beginning of round r+1.
+//   - Each node initially knows only its own ID, its neighbors' IDs, the
+//     weights of its incident edges, and n.
+//
+// The simulator enforces the bandwidth constraint (at most one message per
+// edge per direction per round, each at most MaxWords words) and accounts
+// for rounds, messages, and words — exactly the quantities the paper's
+// theorems bound.
+//
+// Within a round all nodes execute concurrently on a worker pool; because
+// interaction happens only through the round-boundary message buffers, the
+// execution is deterministic regardless of goroutine schedule.
+package congest
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distsketch/internal/graph"
+)
+
+// Message is a payload sent along one edge in one round. Words reports the
+// message size in O(log n)-bit words (a word fits a node ID or a distance;
+// Section 2.2). The engine rejects messages wider than Config.MaxWords.
+type Message interface {
+	Words() int
+}
+
+// Incoming is a delivered message together with its sending neighbor.
+type Incoming struct {
+	From    int
+	Payload Message
+}
+
+// Node is the algorithm state machine placed at each network node.
+//
+// Init is called once before round 1; sends made during Init are delivered
+// at the beginning of round 1 (this is the paper's "in the first round").
+// Round is called every subsequent round with the messages delivered this
+// round. A node that wants to act in the next round even if it receives no
+// messages must call Context.WakeNextRound.
+type Node interface {
+	Init(ctx *Context)
+	Round(ctx *Context, inbox []Incoming)
+}
+
+// Config controls simulation limits and execution strategy.
+type Config struct {
+	// MaxWords is the maximum message size in words. The paper's messages
+	// carry a (node ID, distance) pair plus a small type tag; the default
+	// of 3 words accommodates that. Zero means the default.
+	MaxWords int
+	// MaxRounds aborts the run if exceeded (safety net against livelock in
+	// buggy protocols). Zero means the default of 50 million.
+	MaxRounds int
+	// Sequential forces single-goroutine execution (useful under -race and
+	// for the determinism tests). Default is parallel.
+	Sequential bool
+	// Seed is the master seed from which per-node RNG streams derive.
+	Seed uint64
+	// MaxDelay enables asynchronous delivery, the paper's stated future
+	// direction (Section 5): each message is independently delayed by a
+	// uniform number of rounds in [1, MaxDelay] before arriving, with
+	// FIFO order preserved per directed edge (delays never reorder a
+	// link). 0 or 1 means synchronous delivery. The protocols in this
+	// repository are self-stabilizing to the same fixed points under any
+	// bounded delay, which the async tests verify.
+	MaxDelay int
+	// Trace records a per-round time series of sent messages/words
+	// (Engine.Trace), used to regenerate wave-profile figures.
+	Trace bool
+}
+
+// RoundStat is one point of the per-round traffic time series.
+type RoundStat struct {
+	Round    int
+	Messages int64
+	Words    int64
+}
+
+const (
+	defaultMaxWords  = 3
+	defaultMaxRounds = 50_000_000
+)
+
+// Stats aggregates the cost measures bounded by the paper's theorems.
+type Stats struct {
+	Rounds   int   // synchronous rounds executed
+	Messages int64 // total messages delivered
+	Words    int64 // total words delivered (message size sum)
+}
+
+// Add returns componentwise s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Rounds: s.Rounds + o.Rounds, Messages: s.Messages + o.Messages, Words: s.Words + o.Words}
+}
+
+// Sub returns componentwise s - o (for per-phase deltas).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Rounds: s.Rounds - o.Rounds, Messages: s.Messages - o.Messages, Words: s.Words - o.Words}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d messages=%d words=%d", s.Rounds, s.Messages, s.Words)
+}
+
+// Engine drives one simulation over a fixed graph and node set.
+type Engine struct {
+	g     *graph.Graph
+	cfg   Config
+	nodes []Node
+	ctxs  []*Context
+
+	inboxes [][]Incoming // current round's deliveries, indexed by node
+	scratch [][]Incoming // next round's buffers (reused)
+
+	stats     Stats
+	initDone  bool
+	delivered int64 // messages delivered in the most recent round
+
+	// Asynchronous mode (MaxDelay > 1).
+	async    bool
+	delayRNG *rand.Rand
+	future   futureHeap // deliveries scheduled for later rounds
+	seq      int64
+
+	trace []RoundStat
+}
+
+// Trace returns the per-round traffic series (Config.Trace must be set).
+// Entry i covers round i+1's sends; Init's sends are attributed to round 0.
+func (e *Engine) Trace() []RoundStat { return e.trace }
+
+// NewEngine creates an engine for g. nodes[i] is placed at graph node i.
+func NewEngine(g *graph.Graph, nodes []Node, cfg Config) *Engine {
+	if len(nodes) != g.N() {
+		panic(fmt.Sprintf("congest: %d nodes for graph with n=%d", len(nodes), g.N()))
+	}
+	if cfg.MaxWords == 0 {
+		cfg.MaxWords = defaultMaxWords
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = defaultMaxRounds
+	}
+	e := &Engine{
+		g:       g,
+		cfg:     cfg,
+		nodes:   nodes,
+		ctxs:    make([]*Context, g.N()),
+		inboxes: make([][]Incoming, g.N()),
+		scratch: make([][]Incoming, g.N()),
+		async:   cfg.MaxDelay > 1,
+	}
+	if e.async {
+		e.delayRNG = rand.New(rand.NewPCG(cfg.Seed^0xA57C, 0xDE1A7))
+	}
+	for u := 0; u < g.N(); u++ {
+		adj := g.Adj(u)
+		nbrs := make([]int, len(adj))
+		wts := make([]graph.Dist, len(adj))
+		for i, a := range adj {
+			nbrs[i] = a.To
+			wts[i] = a.Weight
+		}
+		e.ctxs[u] = &Context{
+			engine:    e,
+			id:        u,
+			n:         g.N(),
+			neighbors: nbrs,
+			weights:   wts,
+			out:       make([]Message, len(adj)),
+			lastDue:   make([]int, len(adj)),
+			rng:       rand.New(rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)),
+		}
+	}
+	return e
+}
+
+// Graph returns the underlying topology.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns the accumulated cost counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Node returns the algorithm state machine at node u (for result harvest).
+func (e *Engine) Node(u int) Node { return e.nodes[u] }
+
+// Context is a node's handle to the network: identity, local topology
+// knowledge, randomness, and the per-round send interface. A Context is
+// only valid inside the Init/Round call it is passed to.
+type Context struct {
+	engine    *Engine
+	id        int
+	n         int
+	neighbors []int // sorted neighbor IDs
+	weights   []graph.Dist
+	rng       *rand.Rand
+
+	round   int
+	out     []Message // out[i] = message queued for neighbors[i] this round
+	lastDue []int     // async: last scheduled delivery round per edge (FIFO)
+	wake    bool
+	crashed bool
+	sent    int
+}
+
+// ID returns this node's identifier (0..n-1).
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of nodes in the network (common knowledge; §2.2).
+func (c *Context) N() int { return c.n }
+
+// Round returns the current round number (Init is round 0).
+func (c *Context) Round() int { return c.round }
+
+// Degree returns the number of incident edges.
+func (c *Context) Degree() int { return len(c.neighbors) }
+
+// Neighbors returns the sorted IDs of adjacent nodes. Callers must not
+// modify the returned slice.
+func (c *Context) Neighbors() []int { return c.neighbors }
+
+// WeightTo returns the weight of the edge to neighbor index i.
+func (c *Context) WeightTo(i int) graph.Dist { return c.weights[i] }
+
+// NeighborIndex returns the adjacency index of the given neighbor ID, or -1.
+func (c *Context) NeighborIndex(id int) int {
+	i := sort.SearchInts(c.neighbors, id)
+	if i < len(c.neighbors) && c.neighbors[i] == id {
+		return i
+	}
+	return -1
+}
+
+// RNG returns this node's private random stream. Streams are derived from
+// the engine seed and the node ID, so coin flips can be replayed by the
+// centralized reference constructions (DESIGN.md §5.2).
+func (c *Context) RNG() *rand.Rand { return c.rng }
+
+// Send queues msg on the edge to neighbor index i. Each edge carries at
+// most one message per direction per round and each message at most
+// MaxWords words; violations panic, because they mean the algorithm does
+// not fit the CONGEST model.
+func (c *Context) Send(i int, msg Message) {
+	if msg == nil {
+		panic("congest: nil message")
+	}
+	if w := msg.Words(); w > c.engine.cfg.MaxWords {
+		panic(fmt.Sprintf("congest: node %d message of %d words exceeds budget %d", c.id, w, c.engine.cfg.MaxWords))
+	}
+	if c.out[i] != nil {
+		panic(fmt.Sprintf("congest: node %d sent twice to neighbor %d in round %d", c.id, c.neighbors[i], c.round))
+	}
+	c.out[i] = msg
+	c.sent++
+}
+
+// SendTo queues msg for the neighbor with the given ID.
+func (c *Context) SendTo(id int, msg Message) {
+	i := c.NeighborIndex(id)
+	if i < 0 {
+		panic(fmt.Sprintf("congest: node %d has no neighbor %d", c.id, id))
+	}
+	c.Send(i, msg)
+}
+
+// Broadcast queues msg on every incident edge.
+func (c *Context) Broadcast(msg Message) {
+	for i := range c.neighbors {
+		c.Send(i, msg)
+	}
+}
+
+// WakeNextRound requests that this node's Round be invoked next round even
+// if it receives no messages. Without a wake request and without incoming
+// messages a node stays asleep (and an all-asleep network is quiescent).
+func (c *Context) WakeNextRound() { c.wake = true }
+
+// Wake schedules node u to run in the next round even if it receives no
+// messages. It is the hook used by out-of-band coordinators — e.g. the
+// omniscient phase synchronizer, which models "every node knows the phase
+// length bound" (Section 3.2 of the paper) without in-band signalling.
+func (e *Engine) Wake(u int) { e.ctxs[u].wake = true }
+
+// Crash fail-stops node u: from the next round on it executes nothing,
+// sends nothing, and every message addressed to it is silently dropped.
+// The paper's algorithms are not fault-tolerant (Section 5 leaves the
+// failure-prone setting open); this hook exists so tests can demonstrate
+// *how* they fail — e.g. a mid-phase crash permanently stalls the
+// Section 3.3 COMPLETE convergecast rather than corrupting labels.
+func (e *Engine) Crash(u int) { e.ctxs[u].crashed = true }
+
+// Crashed reports whether u has been fail-stopped.
+func (e *Engine) Crashed(u int) bool { return e.ctxs[u].crashed }
+
+// ErrMaxRounds is returned (wrapped) when a run exceeds Config.MaxRounds.
+var ErrMaxRounds = fmt.Errorf("congest: exceeded max rounds")
+
+// Init runs every node's Init hook. It is called implicitly by the Run
+// methods on first use; calling it explicitly is allowed (once).
+func (e *Engine) Init() {
+	if e.initDone {
+		return
+	}
+	e.initDone = true
+	before := e.stats
+	e.forEachNode(func(u int) {
+		ctx := e.ctxs[u]
+		ctx.round = 0
+		e.nodes[u].Init(ctx)
+	})
+	e.collect()
+	if e.cfg.Trace {
+		e.trace = append(e.trace, RoundStat{
+			Round:    0,
+			Messages: e.stats.Messages - before.Messages,
+			Words:    e.stats.Words - before.Words,
+		})
+	}
+}
+
+// RunRounds executes exactly r additional rounds (after Init).
+func (e *Engine) RunRounds(r int) error {
+	e.Init()
+	for i := 0; i < r; i++ {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilQuiescent executes rounds until no messages are in flight and no
+// node has requested a wake-up, or until maxRounds (0 = Config.MaxRounds)
+// is exceeded. Returns the number of rounds executed.
+func (e *Engine) RunUntilQuiescent(maxRounds int) (int, error) {
+	e.Init()
+	if maxRounds <= 0 {
+		maxRounds = e.cfg.MaxRounds
+	}
+	start := e.stats.Rounds
+	for !e.Quiescent() {
+		if e.stats.Rounds-start >= maxRounds {
+			return e.stats.Rounds - start, fmt.Errorf("%w (%d)", ErrMaxRounds, maxRounds)
+		}
+		if err := e.step(); err != nil {
+			return e.stats.Rounds - start, err
+		}
+	}
+	return e.stats.Rounds - start, nil
+}
+
+// Quiescent reports whether nothing is pending: no deliveries (immediate
+// or delayed) and no wakes. In asynchronous mode delivered messages are
+// consumed within the same step, so only the future heap matters.
+func (e *Engine) Quiescent() bool {
+	if e.async {
+		if len(e.future) > 0 {
+			return false
+		}
+	} else if e.delivered > 0 {
+		return false
+	}
+	for _, ctx := range e.ctxs {
+		if ctx.wake && !ctx.crashed {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one synchronous round: deliver, run all nodes, collect.
+func (e *Engine) step() error {
+	if e.stats.Rounds >= e.cfg.MaxRounds {
+		return fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.MaxRounds)
+	}
+	e.stats.Rounds++
+	round := e.stats.Rounds
+	if e.async {
+		e.deliverDue(round)
+	}
+	before := e.stats
+	e.forEachNode(func(u int) {
+		ctx := e.ctxs[u]
+		if ctx.crashed {
+			ctx.wake = false
+			return // fail-stopped: executes nothing
+		}
+		inbox := e.inboxes[u]
+		if len(inbox) == 0 && !ctx.wake {
+			return // asleep: no event for this node
+		}
+		ctx.wake = false
+		ctx.round = round
+		e.nodes[u].Round(ctx, inbox)
+	})
+	e.collect()
+	if e.cfg.Trace {
+		e.trace = append(e.trace, RoundStat{
+			Round:    round,
+			Messages: e.stats.Messages - before.Messages,
+			Words:    e.stats.Words - before.Words,
+		})
+	}
+	return nil
+}
+
+// collect moves queued outgoing messages toward their destinations and
+// updates counters. It runs serially and in (sender, adjacency) order, so
+// every inbox is deterministically ordered. In synchronous mode messages
+// land in the next round's inboxes directly; in asynchronous mode each is
+// scheduled heapwise with its sampled delay.
+func (e *Engine) collect() {
+	if e.async {
+		e.collectAsync()
+		return
+	}
+	// Reset next-round buffers.
+	for u := range e.scratch {
+		e.scratch[u] = e.scratch[u][:0]
+	}
+	var delivered, words int64
+	for u := 0; u < e.g.N(); u++ {
+		ctx := e.ctxs[u]
+		if ctx.sent == 0 {
+			continue
+		}
+		for i, msg := range ctx.out {
+			if msg == nil {
+				continue
+			}
+			v := ctx.neighbors[i]
+			ctx.out[i] = nil
+			if e.ctxs[v].crashed {
+				continue // dropped on the floor at a fail-stopped node
+			}
+			e.scratch[v] = append(e.scratch[v], Incoming{From: u, Payload: msg})
+			delivered++
+			words += int64(msg.Words())
+		}
+		ctx.sent = 0
+	}
+	e.inboxes, e.scratch = e.scratch, e.inboxes
+	e.stats.Messages += delivered
+	e.stats.Words += words
+	e.delivered = delivered
+}
+
+// collectAsync schedules each queued message for a future round with a
+// uniform delay in [1, MaxDelay], clamped so deliveries on one directed
+// edge stay FIFO and respect the one-message-per-edge-per-round bandwidth
+// on the receiving side.
+func (e *Engine) collectAsync() {
+	now := e.stats.Rounds
+	var words int64
+	var count int64
+	for u := 0; u < e.g.N(); u++ {
+		ctx := e.ctxs[u]
+		if ctx.sent == 0 {
+			continue
+		}
+		for i, msg := range ctx.out {
+			if msg == nil {
+				continue
+			}
+			if e.ctxs[ctx.neighbors[i]].crashed {
+				ctx.out[i] = nil
+				continue // dropped at a fail-stopped node
+			}
+			due := now + 1 + int(e.delayRNG.Int64N(int64(e.cfg.MaxDelay)))
+			if due <= ctx.lastDue[i] {
+				due = ctx.lastDue[i] + 1
+			}
+			ctx.lastDue[i] = due
+			e.seq++
+			heapPush(&e.future, futureDelivery{
+				due: due, seq: e.seq, to: ctx.neighbors[i],
+				inc: Incoming{From: u, Payload: msg},
+			})
+			count++
+			words += int64(msg.Words())
+			ctx.out[i] = nil
+		}
+		ctx.sent = 0
+	}
+	e.stats.Messages += count
+	e.stats.Words += words
+}
+
+// deliverDue moves every message scheduled for the given round into its
+// destination inbox.
+func (e *Engine) deliverDue(round int) {
+	for u := range e.inboxes {
+		e.inboxes[u] = e.inboxes[u][:0]
+	}
+	var delivered int64
+	for len(e.future) > 0 && e.future[0].due <= round {
+		d := heapPop(&e.future)
+		e.inboxes[d.to] = append(e.inboxes[d.to], d.inc)
+		delivered++
+	}
+	e.delivered = delivered
+}
+
+// forEachNode runs f over all node IDs, in parallel unless configured
+// sequential. f must only touch state owned by its node.
+func (e *Engine) forEachNode(f func(u int)) {
+	n := e.g.N()
+	if e.cfg.Sequential || n < 64 {
+		for u := 0; u < n; u++ {
+			f(u)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := parallelism(n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				f(u)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,16 @@
+package congest
+
+import "runtime"
+
+// parallelism picks the worker count for the per-round node fan-out: the
+// available CPUs, but never more workers than nodes.
+func parallelism(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/graph"
+)
+
+// The paper's conclusion asks for asynchronous variants. These tests show
+// the constructions are delay-oblivious: under bounded random message
+// delays (FIFO per edge) every protocol converges to exactly the labels
+// of the synchronous run, because every stage is a monotone fixed-point
+// computation (Bellman–Ford relaxations) or a causally-ordered
+// convergecast (Section 3.3), neither of which depends on round counts.
+
+func TestAsyncTZMatchesSync(t *testing.T) {
+	for _, f := range []graph.Family{graph.FamilyER, graph.FamilyGrid, graph.FamilyBA} {
+		g := graph.Make(f, 48, graph.UniformWeights(1, 8), 55)
+		sync, err := BuildTZ(g, TZOptions{K: 3, Seed: 5, Mode: SyncOmniscient})
+		if err != nil {
+			t.Fatal(err)
+		}
+		async, err := BuildTZ(g, TZOptions{K: 3, Seed: 5, Mode: SyncOmniscient,
+			Congest: congest.Config{MaxDelay: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelsEqual(t, async.Labels, sync.Labels, string(f)+" async")
+		if async.Cost.Total.Rounds <= sync.Cost.Total.Rounds {
+			t.Errorf("%s: async rounds %d should exceed sync %d",
+				f, async.Cost.Total.Rounds, sync.Cost.Total.Rounds)
+		}
+	}
+}
+
+func TestAsyncDetectionMatchesSync(t *testing.T) {
+	// The Section 3.3 protocol is the async-ready variant: phase
+	// boundaries are causal (ECHO/COMPLETE), not clocked. It must
+	// produce the same labels under delays.
+	g := graph.Make(graph.FamilyGeometric, 40, nil, 66)
+	sync, err := BuildTZ(g, TZOptions{K: 2, Seed: 6, Mode: SyncDetection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []int{2, 5} {
+		async, err := BuildTZ(g, TZOptions{K: 2, Seed: 6, Mode: SyncDetection,
+			Congest: congest.Config{MaxDelay: delay}})
+		if err != nil {
+			t.Fatalf("delay=%d: %v", delay, err)
+		}
+		labelsEqual(t, async.Labels, sync.Labels, "async detection")
+	}
+}
+
+func TestAsyncCDGMatchesSync(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 64, graph.UniformWeights(1, 9), 77)
+	sync, err := BuildCDG(g, SlackOptions{Eps: 0.25, K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := BuildCDG(g, SlackOptions{Eps: 0.25, K: 2, Seed: 7,
+		Congest: congest.Config{MaxDelay: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		a, b := async.Labels[u], sync.Labels[u]
+		if a.NetNode != b.NetNode || a.NetDist != b.NetDist {
+			t.Fatalf("node %d: async net pointer differs", u)
+		}
+		if len(a.NetLabel.Bunch) != len(b.NetLabel.Bunch) {
+			t.Fatalf("node %d: async shipped label differs", u)
+		}
+	}
+}
+
+func TestAsyncEchoDisciplineHolds(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 48, graph.UniformWeights(1, 6), 88)
+	res, err := BuildTZ(g, TZOptions{K: 3, Seed: 8, Mode: SyncDetection,
+		Congest: congest.Config{MaxDelay: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.EchoMessages != res.Cost.DataMessages {
+		t.Errorf("async echo %d != data %d", res.Cost.EchoMessages, res.Cost.DataMessages)
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+	"distsketch/internal/tz"
+)
+
+// TestLandmarkMatchesCentralized: the distributed Theorem 4.3 construction
+// must reproduce the centralized per-landmark Dijkstra distances exactly.
+func TestLandmarkMatchesCentralized(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 64, graph.UniformWeights(1, 9), 31)
+	eps := 0.25
+	dist, err := BuildLandmark(g, SlackOptions{Eps: eps, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, net, err := tz.BuildLandmark(g, eps, 31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Net) != len(net) {
+		t.Fatalf("net sizes differ: %d vs %d", len(dist.Net), len(net))
+	}
+	for i := range net {
+		if dist.Net[i] != net[i] {
+			t.Fatalf("net member %d differs: %d vs %d", i, dist.Net[i], net[i])
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		a, b := dist.Labels[u], cent[u]
+		if len(a.Dists) != len(b.Dists) {
+			t.Fatalf("node %d: %d landmark entries vs %d", u, len(a.Dists), len(b.Dists))
+		}
+		for w, d := range b.Dists {
+			if a.Dists[w] != d {
+				t.Fatalf("node %d landmark %d: %d vs %d", u, w, a.Dists[w], d)
+			}
+		}
+	}
+}
+
+func TestLandmarkStretchAndSlack(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 80, nil, 13)
+	eps := 0.25
+	res, err := BuildLandmark(g, SlackOptions{Eps: eps, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := graph.APSP(g)
+	rep := eval.EvaluateSlack(ap, res.Query, eval.AllPairs(g.N()), eps)
+	if rep.Far.Violations != 0 || rep.Far.Unreachable != 0 {
+		t.Fatalf("invalid far estimates: %+v", rep.Far)
+	}
+	if rep.Far.MaxStretch > 3 {
+		t.Errorf("far max stretch %.3f > 3", rep.Far.MaxStretch)
+	}
+	if rep.FarFrac < 1-eps-1e-9 {
+		t.Errorf("far fraction %.3f < %.3f", rep.FarFrac, 1-eps)
+	}
+}
+
+// TestCDGMatchesCentralized is the E12-style equivalence for the CDG
+// pipeline: net membership, nearest net node, distances, and the shipped
+// labels must all match the centralized reference.
+func TestCDGMatchesCentralized(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g := graph.Make(graph.FamilyGeometric, 56, nil, 41)
+		eps := 0.25
+		dist, err := BuildCDG(g, SlackOptions{Eps: eps, K: k, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cent, _, err := tz.BuildCDG(g, eps, k, 41, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			a, b := dist.Labels[u], cent[u]
+			if a.NetNode != b.NetNode || a.NetDist != b.NetDist {
+				t.Fatalf("k=%d node %d: net pointer (%d,%d) vs (%d,%d)",
+					k, u, a.NetNode, a.NetDist, b.NetNode, b.NetDist)
+			}
+			la, lb := a.NetLabel, b.NetLabel
+			if la.Owner != lb.Owner || len(la.Bunch) != len(lb.Bunch) {
+				t.Fatalf("k=%d node %d: shipped label header mismatch", k, u)
+			}
+			for i := range la.Pivots {
+				if la.Pivots[i] != lb.Pivots[i] {
+					t.Fatalf("k=%d node %d: shipped pivot %d mismatch", k, u, i)
+				}
+			}
+			for w, e := range lb.Bunch {
+				if la.Bunch[w] != e {
+					t.Fatalf("k=%d node %d: shipped bunch[%d] mismatch", k, u, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCDGStretchWithSlack(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 80, graph.UniformWeights(1, 10), 23)
+	eps, k := 0.25, 2
+	res, err := BuildCDG(g, SlackOptions{Eps: eps, K: k, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := graph.APSP(g)
+	rep := eval.EvaluateSlack(ap, res.Query, eval.AllPairs(g.N()), eps)
+	if rep.Far.Violations != 0 || rep.Far.Unreachable != 0 {
+		t.Fatalf("invalid far estimates: %+v", rep.Far)
+	}
+	if bound := float64(8*k - 1); rep.Far.MaxStretch > bound {
+		t.Errorf("far max stretch %.3f > 8k-1 = %g", rep.Far.MaxStretch, bound)
+	}
+}
+
+func TestCDGStageCostsSum(t *testing.T) {
+	// n and ε chosen so the net is a proper subset (NetProb < 1) and the
+	// ship stage has real work to do.
+	g := graph.Make(graph.FamilyBA, 200, graph.UniformWeights(1, 6), 8)
+	res, err := BuildCDG(g, SlackOptions{Eps: 0.5, K: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Net) == g.N() {
+		t.Fatal("net saturated; pick sparser parameters")
+	}
+	sum := res.WaveCost.Add(res.TZCost).Add(res.ShipCost)
+	if sum != res.Cost.Total {
+		t.Errorf("stage costs %v != total %v", sum, res.Cost.Total)
+	}
+	if res.WaveCost.Rounds <= 0 || res.TZCost.Rounds <= 0 || res.ShipCost.Rounds <= 0 {
+		t.Errorf("degenerate stage costs: wave=%v tz=%v ship=%v", res.WaveCost, res.TZCost, res.ShipCost)
+	}
+}
+
+func TestCDGSaturatedNetIsExactTZ(t *testing.T) {
+	// When NetProb = 1 (ε ≤ 5·ln n/n) the net is all of V, every node is
+	// its own net node, and the CDG query degenerates to a plain TZ query.
+	g := graph.Make(graph.FamilyER, 40, graph.UniformWeights(1, 5), 4)
+	res, err := BuildCDG(g, SlackOptions{Eps: 0.25, K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Net) != g.N() {
+		t.Skip("net not saturated at these parameters")
+	}
+	for u := 0; u < g.N(); u++ {
+		if res.Labels[u].NetNode != u || res.Labels[u].NetDist != 0 {
+			t.Fatalf("node %d: expected self net pointer, got (%d,%d)",
+				u, res.Labels[u].NetNode, res.Labels[u].NetDist)
+		}
+	}
+	if res.ShipCost.Rounds != 0 || res.ShipCost.Messages != 0 {
+		t.Errorf("saturated net should ship nothing, got %v", res.ShipCost)
+	}
+}
+
+func TestGracefulDistributedMatchesCentralized(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 48, graph.UniformWeights(1, 8), 19)
+	dist, err := BuildGraceful(g, 19, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := tz.BuildGraceful(g, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		a, b := dist.Labels[u], cent[u]
+		if len(a.Levels) != len(b.Levels) {
+			t.Fatalf("node %d: %d levels vs %d", u, len(a.Levels), len(b.Levels))
+		}
+		for i := range a.Levels {
+			ca, cb := a.Levels[i], b.Levels[i]
+			if ca.NetNode != cb.NetNode || ca.NetDist != cb.NetDist {
+				t.Fatalf("node %d level %d: net pointer mismatch", u, i)
+			}
+			if len(ca.NetLabel.Bunch) != len(cb.NetLabel.Bunch) {
+				t.Fatalf("node %d level %d: bunch size mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestGracefulDistributedBounds(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 64, nil, 29)
+	res, err := BuildGraceful(g, 29, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	ap := graph.APSP(g)
+	rep := eval.Evaluate(ap, res.Query, eval.AllPairs(n))
+	if rep.Violations != 0 || rep.Unreachable != 0 {
+		t.Fatalf("invalid estimates: %+v", rep)
+	}
+	if worst := float64(8*sketch.GracefulLevels(n) - 1); rep.MaxStretch > worst {
+		t.Errorf("max stretch %.2f > %g", rep.MaxStretch, worst)
+	}
+	avg := eval.AvgStretchAllPairs(ap, res.Query)
+	if avg > 12 {
+		t.Errorf("average stretch %.2f implausible for O(1)", avg)
+	}
+}
+
+func TestSlackRejectsBadInput(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 0)
+	if _, err := BuildLandmark(g, SlackOptions{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := BuildCDG(g, SlackOptions{Eps: 2, K: 1}); err == nil {
+		t.Error("eps=2 accepted")
+	}
+	if _, err := BuildCDG(g, SlackOptions{Eps: 0.5, K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func congestDefault() congest.Config { return congest.Config{} }
+
+func congestDefaultDelay(d int) congest.Config { return congest.Config{MaxDelay: d} }

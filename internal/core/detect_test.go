@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"distsketch/internal/graph"
+)
+
+// TestDetectionMatchesOmniscient: the in-band Section 3.3 protocol must
+// produce exactly the labels the omniscient-sync run produces (same coin
+// flips, same final Bellman–Ford fixed points).
+func TestDetectionMatchesOmniscient(t *testing.T) {
+	for _, f := range graph.AllFamilies() {
+		for _, k := range []int{1, 2, 3} {
+			g := graph.Make(f, 40, graph.UniformWeights(1, 8), 77)
+			omn, err := BuildTZ(g, TZOptions{K: k, Seed: 7, Mode: SyncOmniscient})
+			if err != nil {
+				t.Fatalf("%s k=%d omniscient: %v", f, k, err)
+			}
+			det, err := BuildTZ(g, TZOptions{K: k, Seed: 7, Mode: SyncDetection})
+			if err != nil {
+				t.Fatalf("%s k=%d detection: %v", f, k, err)
+			}
+			labelsEqual(t, det.Labels, omn.Labels, string(f))
+		}
+	}
+}
+
+func TestDetectionEchoDiscipline(t *testing.T) {
+	// Section 3.3: ECHOs are 1:1 with data messages ("any message sent
+	// along an edge corresponds to exactly one ECHO sent back").
+	g := graph.Make(graph.FamilyER, 64, graph.UniformWeights(1, 10), 5)
+	det, err := BuildTZ(g, TZOptions{K: 3, Seed: 5, Mode: SyncDetection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Cost.EchoMessages != det.Cost.DataMessages {
+		t.Errorf("echoes %d != data %d", det.Cost.EchoMessages, det.Cost.DataMessages)
+	}
+	total := det.Cost.DataMessages + det.Cost.EchoMessages + det.Cost.ControlMessages
+	if total != det.Cost.Total.Messages {
+		t.Errorf("breakdown %d != engine total %d", total, det.Cost.Total.Messages)
+	}
+}
+
+func TestDetectionOverheadModest(t *testing.T) {
+	// The paper: detection at most doubles messages (data+echo), adds
+	// O(n) COMPLETEs + O(|E|) setup messages, and O(D) extra rounds per
+	// phase. Verify against the omniscient baseline.
+	g := graph.Make(graph.FamilyGeometric, 96, nil, 9)
+	omn, err := BuildTZ(g, TZOptions{K: 3, Seed: 9, Mode: SyncOmniscient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := BuildTZ(g, TZOptions{K: 3, Seed: 9, Mode: SyncDetection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data traffic reaches the same fixed point; interleaving with echo
+	// traffic can only delay sends, which lets more queued updates
+	// collapse, so detection sends at most marginally more data messages
+	// (and typically slightly fewer).
+	if det.Cost.DataMessages > omn.Cost.DataMessages*11/10 {
+		t.Errorf("data messages: det %d > 1.1x omniscient %d", det.Cost.DataMessages, omn.Cost.DataMessages)
+	}
+	d := graph.HopDiameter(g)
+	maxControl := int64(3*g.N()) + int64(4*g.M()) + int64(3*g.N()) // START/COMPLETE/FINISH + BFS
+	if det.Cost.ControlMessages > maxControl {
+		t.Errorf("control messages %d > budget %d", det.Cost.ControlMessages, maxControl)
+	}
+	// Rounds: setup + per-phase detection adds O(D) per phase plus echo
+	// queue interleaving; allow a 4x + setup + k·4D envelope.
+	budget := 4*omn.Cost.Total.Rounds + det.Cost.SetupRounds + 3*4*d + 16
+	if det.Cost.Total.Rounds > budget {
+		t.Errorf("detection rounds %d > budget %d (omniscient %d, D=%d)",
+			det.Cost.Total.Rounds, budget, omn.Cost.Total.Rounds, d)
+	}
+}
+
+func TestDetectionTinyNetworks(t *testing.T) {
+	// n=2 and a path: exercise leaf/root edge cases of the tree protocol.
+	for _, n := range []int{2, 3, 5} {
+		g := graph.Path(n, graph.UnitWeights(), 0)
+		det, err := BuildTZ(g, TZOptions{K: 2, Seed: 1, Mode: SyncDetection})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		omn, err := BuildTZ(g, TZOptions{K: 2, Seed: 1, Mode: SyncOmniscient})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelsEqual(t, det.Labels, omn.Labels, "tiny path")
+	}
+}
+
+func TestDetectionPerPhaseRoundsPositive(t *testing.T) {
+	g := graph.Make(graph.FamilyGrid, 49, graph.UnitWeights(), 3)
+	det, err := BuildTZ(g, TZOptions{K: 3, Seed: 3, Mode: SyncDetection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Cost.SetupRounds <= 0 {
+		t.Errorf("setup rounds = %d", det.Cost.SetupRounds)
+	}
+	var sum int
+	for i, ps := range det.Cost.PerPhase {
+		if ps.Rounds < 0 {
+			t.Errorf("phase %d rounds = %d", i, ps.Rounds)
+		}
+		sum += ps.Rounds
+	}
+	if sum+det.Cost.SetupRounds > det.Cost.Total.Rounds+1 {
+		t.Errorf("phase rounds %d + setup %d exceed total %d", sum, det.Cost.SetupRounds, det.Cost.Total.Rounds)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// Property-based sweeps over random graphs, seeds, and parameters: the
+// paper's invariants must hold on arbitrary inputs, not just the curated
+// experiment configurations.
+
+// Property: for random (family, seed, k), every TZ estimate lies in
+// [d, (2k-1)·d].
+func TestPropertyTZStretchEnvelope(t *testing.T) {
+	families := graph.AllFamilies()
+	f := func(famIdx, kRaw uint8, seed uint64) bool {
+		fam := families[int(famIdx)%len(families)]
+		k := int(kRaw)%4 + 1
+		g := graph.Make(fam, 24+int(seed%17), graph.UniformWeights(1, 12), seed)
+		res, err := BuildTZ(g, TZOptions{K: k, Seed: seed, Mode: SyncOmniscient})
+		if err != nil {
+			return false
+		}
+		ap := graph.APSP(g)
+		rep := eval.Evaluate(ap, res.Query, eval.AllPairs(g.N()))
+		return rep.Violations == 0 && rep.Unreachable == 0 &&
+			rep.MaxStretch <= float64(2*k-1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bunch/cluster duality — the label sets reconstructed from
+// the distributed run satisfy w ∈ B(u) ⟺ d(u,w) < d(u, A_{level(w)+1}).
+func TestPropertyBunchThreshold(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.Make(graph.FamilyER, 32, graph.UniformWeights(1, 9), seed)
+		k := 3
+		res, err := BuildTZ(g, TZOptions{K: k, Seed: seed, Mode: SyncOmniscient})
+		if err != nil {
+			return false
+		}
+		ap := graph.APSP(g)
+		for u := 0; u < g.N(); u++ {
+			lab := res.Labels[u]
+			if err := lab.Validate(); err != nil {
+				return false
+			}
+			// Membership soundness and completeness against exact
+			// distances.
+			for w := 0; w < g.N(); w++ {
+				if w == u {
+					continue
+				}
+				l := res.Levels[w]
+				thresh := graph.Inf
+				if l+1 < k {
+					thresh = lab.Pivots[l+1].Dist
+				}
+				_, in := lab.Bunch[w]
+				want := ap[u][w] < thresh
+				if in != want {
+					return false
+				}
+				if in && lab.Bunch[w].Dist != ap[u][w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialized estimates equal in-memory estimates for random
+// pairs and all sketch kinds.
+func TestPropertySerializationTransparency(t *testing.T) {
+	g := graph.Make(graph.FamilyBA, 40, graph.UniformWeights(1, 9), 9)
+	tzRes, err := BuildTZ(g, TZOptions{K: 2, Seed: 9, Mode: SyncOmniscient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		u, v := int(a)%g.N(), int(b)%g.N()
+		direct := tzRes.Query(u, v)
+		lu, err := sketch.UnmarshalTZ(sketch.MarshalTZ(tzRes.Labels[u]))
+		if err != nil {
+			return false
+		}
+		lv, err := sketch.UnmarshalTZ(sketch.MarshalTZ(tzRes.Labels[v]))
+		if err != nil {
+			return false
+		}
+		return sketch.QueryTZ(lu, lv) == direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pivot distances are monotone nonincreasing in quality across
+// levels (d(u,A_0) ≤ d(u,A_1) ≤ ... ) and pivot 0 is the node itself for
+// full hierarchies.
+func TestPropertyPivotChainMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.Make(graph.FamilyGeometric, 30, nil, seed)
+		res, err := BuildTZ(g, TZOptions{K: 4, Seed: seed, Mode: SyncOmniscient})
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			p := res.Labels[u].Pivots
+			if p[0].Node != u || p[0].Dist != 0 {
+				return false
+			}
+			for i := 1; i < len(p); i++ {
+				if p[i].Dist < p[i-1].Dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// tzNode is the per-node state machine for the distributed Thorup–Zwick
+// construction under omniscient or analytic synchronization (Section 3.2,
+// Algorithm 2). Phase transitions are driven by the runner through
+// startPhase/finishPhase; the in-band Section 3.3 protocol lives in
+// detectNode (detect.go).
+type tzNode struct {
+	id       int
+	k        int
+	topLevel int // largest i with this node ∈ A_i; -1 if not in A_0
+	batch    int // announcements per message (bandwidth-B mode; ≥ 1)
+
+	phase  int                // current phase, or -1 outside phases
+	thresh graph.Dist         // d(u, A_{phase+1}), fixed for the phase
+	best   map[int]graph.Dist // source -> best distance seen this phase
+	out    *outQueues
+
+	// Results accumulated across phases.
+	label *sketch.TZLabel
+	// chainBest is the running (dist, id) lexicographic minimum over
+	// levels >= current+1, used to extend the pivot chain downward.
+	chainBest pivotCand
+}
+
+type pivotCand struct {
+	dist graph.Dist
+	node int // -1 = none
+}
+
+func lessCand(a, b pivotCand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.node == -1 {
+		return false
+	}
+	if b.node == -1 {
+		return true
+	}
+	return a.node < b.node
+}
+
+func newTZNode(id, k, topLevel, batch int) *tzNode {
+	if batch < 1 {
+		batch = 1
+	}
+	return &tzNode{
+		id:        id,
+		k:         k,
+		topLevel:  topLevel,
+		batch:     batch,
+		phase:     -1,
+		thresh:    graph.Inf,
+		label:     sketch.NewTZLabel(id, k),
+		chainBest: pivotCand{dist: graph.Inf, node: -1},
+	}
+}
+
+func (nd *tzNode) Init(ctx *congest.Context) {
+	nd.out = newOutQueues(ctx.Degree())
+}
+
+// startPhase is invoked by the runner (omniscient synchronization) at the
+// beginning of phase i. A node in A_i \ A_{i+1} — exactly the nodes with
+// topLevel == i — becomes a source: it announces 〈u, 0〉 on every edge.
+func (nd *tzNode) startPhase(i int) {
+	nd.phase = i
+	nd.best = make(map[int]graph.Dist)
+	if nd.topLevel == i {
+		nd.best[nd.id] = 0
+		nd.out.pushSrcAll(nd.id)
+	}
+}
+
+// finishPhase harvests phase i results: every accepted source v (other
+// than the node itself) becomes a bunch entry of level i, the pivot chain
+// is extended with p_i(u), and the threshold d(u, A_i) for phase i-1 is
+// the pivot's distance.
+func (nd *tzNode) finishPhase() {
+	i := nd.phase
+	cand := nd.chainBest
+	for v, d := range nd.best {
+		if v == nd.id {
+			continue
+		}
+		nd.label.Bunch[v] = sketch.BunchEntry{Dist: d, Level: i}
+		if c := (pivotCand{dist: d, node: v}); lessCand(c, cand) {
+			cand = c
+		}
+	}
+	if nd.topLevel >= i {
+		if c := (pivotCand{dist: 0, node: nd.id}); lessCand(c, cand) {
+			cand = c
+		}
+	}
+	nd.label.Pivots[i] = sketch.Pivot{Node: cand.node, Dist: cand.dist}
+	nd.chainBest = cand
+	nd.thresh = cand.dist // d(u, A_i), the threshold for phase i-1
+	nd.best = nil
+	nd.phase = -1
+	nd.out.reset()
+}
+
+func (nd *tzNode) Round(ctx *congest.Context, inbox []congest.Incoming) {
+	for _, in := range inbox {
+		switch m := in.Payload.(type) {
+		case dataMsg:
+			nd.checkPhase(m.Phase)
+			nd.accept(ctx, in.From, m)
+		case dataBatchMsg:
+			nd.checkPhase(m.Phase)
+			for _, it := range m.Items {
+				nd.accept(ctx, in.From, dataMsg{Phase: m.Phase, Src: it.Src, Dist: it.Dist})
+			}
+		default:
+			panic(fmt.Sprintf("core: node %d got %T in TZ phase", nd.id, in.Payload))
+		}
+	}
+	nd.drain(ctx)
+}
+
+func (nd *tzNode) checkPhase(p int) {
+	if p != nd.phase {
+		panic(fmt.Sprintf("core: node %d got phase-%d message during phase %d (omniscient sync broken)",
+			nd.id, p, nd.phase))
+	}
+}
+
+// accept implements lines 10–14 of Algorithm 2: adopt the announced
+// distance if it both beats the current estimate and stays below
+// d(u, A_{i+1}) (i.e. the source is (still possibly) in B_i(u)), then
+// queue the improved announcement for all neighbors.
+func (nd *tzNode) accept(ctx *congest.Context, from int, m dataMsg) {
+	w := ctx.NeighborIndex(from)
+	nd2 := graph.AddDist(m.Dist, ctx.WeightTo(w))
+	cur, seen := nd.best[m.Src]
+	if !seen {
+		cur = graph.Inf
+	}
+	if nd2 >= nd.thresh || nd2 >= cur {
+		return
+	}
+	nd.best[m.Src] = nd2
+	nd.out.pushSrcAll(m.Src)
+}
+
+// drain transmits one message per edge — a single announcement, or up to
+// `batch` of them in bandwidth-B mode — with *current* best distances,
+// then requests a wake-up if anything remains queued.
+func (nd *tzNode) drain(ctx *congest.Context) {
+	if nd.batch > 1 {
+		for i := 0; i < ctx.Degree(); i++ {
+			srcs := nd.out.popSrcBatch(i, nd.batch)
+			if len(srcs) == 0 {
+				continue
+			}
+			items := make([]srcDist, len(srcs))
+			for j, s := range srcs {
+				items[j] = srcDist{Src: s, Dist: nd.best[s]}
+			}
+			ctx.Send(i, dataBatchMsg{Phase: nd.phase, Items: items})
+		}
+	} else {
+		nd.out.drain(func(edge int, e qEntry) {
+			if e.msg != nil {
+				ctx.Send(edge, e.msg)
+				return
+			}
+			ctx.Send(edge, dataMsg{Phase: nd.phase, Src: e.src, Dist: nd.best[e.src]})
+		})
+	}
+	if nd.out.pending() {
+		ctx.WakeNextRound()
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// Incremental maintenance. The paper's introduction motivates bounding
+// preprocessing cost because "the distance information or network itself
+// changes frequently, and this would require altering the sketches
+// periodically". For the landmark sketches of Theorem 4.3 — whose labels
+// are exact distances to the density net — an edge weight *decrease*
+// admits a cheap warm-start repair instead of a full rebuild:
+//
+//  1. Every node keeps its old label (entrywise an upper bound on the
+//     new distances, since distances only shrank).
+//  2. The two endpoints of the changed edge stream their label entries
+//     to each other across it (one entry per round).
+//  3. Any resulting improvement re-propagates as an ordinary
+//     Bellman–Ford wave.
+//
+// This converges to the exact new labels: old labels violate the
+// Bellman–Ford fixed-point condition only across the changed edge, step
+// 2 relaxes exactly that edge, and step 3 restores the invariant
+// everywhere else. Cost is proportional to the region whose distances
+// actually changed, not to S·|N| (experiment E14 quantifies the gap).
+//
+// Weight increases invalidate upper bounds and are not handled here —
+// they require the full rebuild, matching the classic asymmetry of
+// dynamic shortest-path maintenance.
+
+// updateNode runs the warm-start repair for one node.
+type updateNode struct {
+	id   int
+	best map[int]graph.Dist // warm-started landmark entries
+
+	endpointFor int // neighbor index of the changed edge's other end; -1
+	toStream    []srcDist
+
+	fifo   [][]int
+	inFifo []map[int]bool
+}
+
+type streamMsg struct {
+	Src  int
+	Dist graph.Dist
+}
+
+func (streamMsg) Words() int { return 2 }
+
+func (nd *updateNode) Init(ctx *congest.Context) {
+	deg := ctx.Degree()
+	nd.fifo = make([][]int, deg)
+	nd.inFifo = make([]map[int]bool, deg)
+	for i := 0; i < deg; i++ {
+		nd.inFifo[i] = make(map[int]bool)
+	}
+	if nd.endpointFor >= 0 && len(nd.toStream) > 0 {
+		ctx.WakeNextRound()
+	}
+}
+
+func (nd *updateNode) Round(ctx *congest.Context, inbox []congest.Incoming) {
+	for _, in := range inbox {
+		m := in.Payload.(streamMsg)
+		w := ctx.NeighborIndex(in.From)
+		d := graph.AddDist(m.Dist, ctx.WeightTo(w))
+		if cur, ok := nd.best[m.Src]; !ok || d < cur {
+			nd.best[m.Src] = d
+			nd.enqueueAll(m.Src)
+		}
+	}
+	nd.drain(ctx)
+}
+
+func (nd *updateNode) enqueueAll(src int) {
+	for i := range nd.fifo {
+		if !nd.inFifo[i][src] {
+			nd.inFifo[i][src] = true
+			nd.fifo[i] = append(nd.fifo[i], src)
+		}
+	}
+}
+
+func (nd *updateNode) drain(ctx *congest.Context) {
+	pending := false
+	for i := range nd.fifo {
+		// The changed edge first carries the endpoint's streamed backlog
+		// (step 2); improvements share it afterwards.
+		if i == nd.endpointFor && len(nd.toStream) > 0 && len(nd.fifo[i]) == 0 {
+			e := nd.toStream[0]
+			nd.toStream = nd.toStream[1:]
+			ctx.Send(i, streamMsg{Src: e.Src, Dist: e.Dist})
+			if len(nd.toStream) > 0 {
+				pending = true
+			}
+			continue
+		}
+		if len(nd.fifo[i]) == 0 {
+			continue
+		}
+		src := nd.fifo[i][0]
+		copy(nd.fifo[i], nd.fifo[i][1:])
+		nd.fifo[i] = nd.fifo[i][:len(nd.fifo[i])-1]
+		delete(nd.inFifo[i], src)
+		ctx.Send(i, streamMsg{Src: src, Dist: nd.best[src]})
+		if len(nd.fifo[i]) > 0 || (i == nd.endpointFor && len(nd.toStream) > 0) {
+			pending = true
+		}
+	}
+	if pending {
+		ctx.WakeNextRound()
+	}
+}
+
+// UpdateLandmark repairs landmark labels after the weight of edge {a,b}
+// decreased. g must be the *new* topology (same node set and edges, the
+// one changed weight). prev is consumed: the returned result reuses and
+// mutates its label maps.
+func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.Config) (*LandmarkResult, error) {
+	n := g.N()
+	if len(prev.Labels) != n {
+		return nil, fmt.Errorf("core: %d labels for n=%d", len(prev.Labels), n)
+	}
+	if _, ok := g.EdgeWeight(a, b); !ok {
+		return nil, fmt.Errorf("core: edge (%d,%d) not in graph", a, b)
+	}
+	nodes := make([]congest.Node, n)
+	uns := make([]*updateNode, n)
+	for u := 0; u < n; u++ {
+		un := &updateNode{id: u, best: prev.Labels[u].Dists, endpointFor: -1}
+		if u == a || u == b {
+			other := b
+			if u == b {
+				other = a
+			}
+			idx := -1
+			for i, arc := range g.Adj(u) {
+				if arc.To == other {
+					idx = i
+				}
+			}
+			un.endpointFor = idx
+			for _, w := range prev.Labels[u].NetNodes() {
+				un.toStream = append(un.toStream, srcDist{Src: w, Dist: prev.Labels[u].Dists[w]})
+			}
+		}
+		uns[u] = un
+		nodes[u] = un
+	}
+	eng := congest.NewEngine(g, nodes, cfg)
+	if _, err := eng.RunUntilQuiescent(0); err != nil {
+		return nil, err
+	}
+	out := &LandmarkResult{Net: prev.Net}
+	out.Labels = make([]*sketch.LandmarkLabel, n)
+	for u := 0; u < n; u++ {
+		lab := sketch.NewLandmarkLabel(u)
+		lab.Dists = uns[u].best
+		out.Labels[u] = lab
+	}
+	out.Cost.Total = eng.Stats()
+	return out, nil
+}

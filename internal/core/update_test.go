@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"distsketch/internal/graph"
+)
+
+// decreaseEdge returns a copy of g with edge {a,b} reweighted.
+func decreaseEdge(t *testing.T, g *graph.Graph, a, b int, w graph.Dist) *graph.Graph {
+	t.Helper()
+	nb := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if (e.U == a && e.V == b) || (e.U == b && e.V == a) {
+			if w > e.Weight {
+				t.Fatalf("edge (%d,%d): %d is not a decrease from %d", a, b, w, e.Weight)
+			}
+			nb.AddEdge(e.U, e.V, w)
+			continue
+		}
+		nb.AddEdge(e.U, e.V, e.Weight)
+	}
+	ng, err := nb.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
+func TestUpdateLandmarkExact(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 96, graph.UniformWeights(5, 50), 61)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.25, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decrease a heavy-ish edge to 1 — a change that reroutes many paths.
+	e := g.Edges()[g.M()/2]
+	ng := decreaseEdge(t, g, e.U, e.V, 1)
+	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updated labels must equal exact new distances to every net node.
+	for _, w := range upd.Net {
+		want := graph.Dijkstra(ng, w)
+		for u := 0; u < ng.N(); u++ {
+			got, ok := upd.Labels[u].Dists[w]
+			if !ok || got != want.Dist[u] {
+				t.Fatalf("node %d landmark %d: got %d (ok=%v), want %d", u, w, got, ok, want.Dist[u])
+			}
+		}
+	}
+}
+
+func TestUpdateLandmarkCheaperThanRebuild(t *testing.T) {
+	g := graph.Make(graph.FamilyER, 128, graph.UniformWeights(5, 50), 62)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.25, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[3]
+	ng := decreaseEdge(t, g, e.U, e.V, e.Weight-1) // tiny decrease: few paths change
+	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuild, err := BuildLandmark(ng, SlackOptions{Eps: 0.25, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Cost.Total.Messages >= rebuild.Cost.Total.Messages {
+		t.Errorf("update messages %d not cheaper than rebuild %d",
+			upd.Cost.Total.Messages, rebuild.Cost.Total.Messages)
+	}
+	// And still exact.
+	for _, w := range upd.Net[:3] {
+		want := graph.Dijkstra(ng, w)
+		for u := 0; u < ng.N(); u++ {
+			if upd.Labels[u].Dists[w] != want.Dist[u] {
+				t.Fatalf("node %d landmark %d wrong after cheap update", u, w)
+			}
+		}
+	}
+}
+
+func TestUpdateLandmarkNoopChange(t *testing.T) {
+	// "Decreasing" to the same weight must change nothing and cost only
+	// the endpoint streaming.
+	g := graph.Make(graph.FamilyGrid, 49, graph.UniformWeights(2, 9), 63)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.5, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netSize := len(prev.Net)
+	e := g.Edges()[0]
+	upd, err := UpdateLandmark(g, prev, e.U, e.V, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming cost: both endpoints send |N| entries over one edge.
+	if upd.Cost.Total.Messages > int64(4*netSize+8) {
+		t.Errorf("no-op update sent %d messages, want ~2|N|=%d", upd.Cost.Total.Messages, 2*netSize)
+	}
+}
+
+func TestUpdateLandmarkBadEdge(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 0)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UpdateLandmark(g, prev, 0, 3, congestDefault()); err == nil {
+		t.Error("nonexistent edge accepted")
+	}
+}

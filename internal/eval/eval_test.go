@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"distsketch/internal/graph"
+)
+
+func pathAPSP(n int) [][]graph.Dist {
+	g := graph.Path(n, graph.UnitWeights(), 0)
+	return graph.APSP(g)
+}
+
+func TestEvaluateExactQuery(t *testing.T) {
+	ap := pathAPSP(6)
+	q := func(u, v int) graph.Dist { return ap[u][v] }
+	rep := Evaluate(ap, q, AllPairs(6))
+	if rep.Pairs != 30 {
+		t.Errorf("pairs = %d, want 30", rep.Pairs)
+	}
+	if rep.MaxStretch != 1 || rep.AvgStretch != 1 {
+		t.Errorf("exact query should have stretch 1: %+v", rep)
+	}
+	if rep.Violations != 0 || rep.Unreachable != 0 {
+		t.Errorf("exact query flagged: %+v", rep)
+	}
+	if rep.P50 != 1 || rep.P90 != 1 || rep.P99 != 1 {
+		t.Errorf("percentiles: %+v", rep)
+	}
+}
+
+func TestEvaluateDetectsViolations(t *testing.T) {
+	ap := pathAPSP(4)
+	q := func(u, v int) graph.Dist { return ap[u][v] - 1 } // cheats below true
+	rep := Evaluate(ap, q, AllPairs(4))
+	if rep.Violations != rep.Pairs {
+		t.Errorf("violations = %d, want %d", rep.Violations, rep.Pairs)
+	}
+}
+
+func TestEvaluateDetectsUnreachable(t *testing.T) {
+	ap := pathAPSP(4)
+	q := func(u, v int) graph.Dist { return graph.Inf }
+	rep := Evaluate(ap, q, AllPairs(4))
+	if rep.Unreachable != rep.Pairs {
+		t.Errorf("unreachable = %d, want %d", rep.Unreachable, rep.Pairs)
+	}
+}
+
+func TestEvaluateStretch(t *testing.T) {
+	ap := pathAPSP(3)
+	q := func(u, v int) graph.Dist { return 3 * ap[u][v] }
+	rep := Evaluate(ap, q, AllPairs(3))
+	if rep.MaxStretch != 3 || rep.AvgStretch != 3 {
+		t.Errorf("stretch: %+v", rep)
+	}
+}
+
+func TestSamplePairsValid(t *testing.T) {
+	pairs := SamplePairs(10, 200, 1)
+	if len(pairs) != 200 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.U == p.V || p.U < 0 || p.U >= 10 || p.V < 0 || p.V >= 10 {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+	again := SamplePairs(10, 200, 1)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("SamplePairs not deterministic")
+		}
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	if got := len(AllPairs(7)); got != 42 {
+		t.Errorf("AllPairs(7) = %d pairs, want 42", got)
+	}
+}
+
+func TestFarClassifierRanks(t *testing.T) {
+	// Path 0-1-2-3: from node 0, ranks are 0:0, 1:1, 2:2, 3:3.
+	ap := pathAPSP(4)
+	fc := NewFarClassifier(ap)
+	for v := 0; v < 4; v++ {
+		if got := fc.CloserCount(0, v); got != v {
+			t.Errorf("rank of %d from 0 = %d, want %d", v, got, v)
+		}
+	}
+	// v=3 is ε-far from 0 for ε ≤ 3/4.
+	if !fc.IsFar(0, 3, 0.75) {
+		t.Error("3 should be 0.75-far from 0")
+	}
+	if fc.IsFar(0, 1, 0.5) {
+		t.Error("1 should not be 0.5-far from 0 (rank 1 < 2)")
+	}
+}
+
+func TestFarClassifierTieBreak(t *testing.T) {
+	// Star: all leaves equidistant from the center; ranks must still be
+	// distinct (ID tie-break).
+	g := graph.Star(5, graph.UnitWeights(), 0)
+	ap := graph.APSP(g)
+	fc := NewFarClassifier(ap)
+	seen := make(map[int]bool)
+	for v := 0; v < 5; v++ {
+		r := fc.CloserCount(0, v)
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestEvaluateSlackCoverage(t *testing.T) {
+	ap := pathAPSP(16)
+	q := func(u, v int) graph.Dist { return ap[u][v] }
+	for _, eps := range []float64{0.25, 0.5} {
+		rep := EvaluateSlack(ap, q, AllPairs(16), eps)
+		if rep.FarFrac < 1-eps-1e-9 {
+			t.Errorf("eps=%g: far fraction %.3f < %.3f", eps, rep.FarFrac, 1-eps)
+		}
+		if rep.Eps != eps {
+			t.Errorf("eps mismatch")
+		}
+		if rep.Far.Pairs+rep.Near.Pairs != 240 {
+			t.Errorf("pair split %d+%d != 240", rep.Far.Pairs, rep.Near.Pairs)
+		}
+	}
+}
+
+func TestAvgStretchAllPairs(t *testing.T) {
+	ap := pathAPSP(5)
+	q := func(u, v int) graph.Dist { return 2 * ap[u][v] }
+	if got := AvgStretchAllPairs(ap, q); math.Abs(got-2) > 1e-12 {
+		t.Errorf("avg = %g, want 2", got)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+	s := []float64{1, 2, 3, 4}
+	if percentile(s, 0.5) != 2 {
+		t.Errorf("p50 = %g", percentile(s, 0.5))
+	}
+	if percentile(s, 1.0) != 4 {
+		t.Errorf("p100 = %g", percentile(s, 1.0))
+	}
+	if percentile(s, 0.01) != 1 {
+		t.Errorf("p1 = %g", percentile(s, 0.01))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Pairs: 10, MaxStretch: 2.5, AvgStretch: 1.5, P50: 1, P90: 2, P99: 2.5}
+	s := rep.String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"distsketch/internal/bellmanford"
+	"distsketch/internal/bfstree"
+	"distsketch/internal/congest"
+	"distsketch/internal/core"
+	"distsketch/internal/exchange"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+	"distsketch/internal/tz"
+)
+
+func congestCfg() congest.Config { return congest.Config{} }
+
+// hubRing builds the Section 2.1 motivating topology: a cycle of unit
+// edges plus a hub connected to every node by heavy edges. The hop
+// diameter is 2 (through the hub) while shortest paths go around the
+// ring, so S = n/2 ≫ D — the regime where preprocessing + sketch
+// exchange beats any online Ω(S) distance computation.
+func hubRing(n int, heavy graph.Dist) *graph.Graph {
+	b := graph.NewBuilder(n + 1)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, 1)
+		b.AddEdge(i, n, heavy)
+	}
+	return b.MustFreeze()
+}
+
+// E11 — Section 2.1: rounds to answer one distance query online (≥ S by
+// the paper's lower-bound argument) vs fetching the other node's sketch
+// over a BFS tree (the paper's O(D · size) claim), both *measured* with
+// real CONGEST protocols. Shows where sketches win and the crossover.
+func E11(cfg Config) *Table {
+	t := &Table{
+		Title:  "E11: online distance computation (Ω(S)) vs sketch fetch (O(D·size)), measured",
+		Header: []string{"n", "D", "S", "tz-k", "size[w]", "fetch", "online", "winner"},
+		Notes: []string{
+			"online = measured rounds of distributed Bellman–Ford from the querying node (≥ S)",
+			"fetch = measured rounds of the tree-routed sketch fetch (internal/exchange)",
+		},
+	}
+	for _, ringN := range cfg.Sizes {
+		g := hubRing(ringN, graph.Dist(ringN)) // heavy hub edges: never on shortest paths
+		n := g.N()
+		d := graph.HopDiameter(g)
+		s := graph.ShortestPathDiameter(g)
+		k := 0
+		for (1 << (k + 1)) <= n {
+			k++ // k = ⌊log₂ n⌋: smallest sketches
+		}
+		res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 21, Mode: core.SyncOmniscient})
+		if err != nil {
+			t.Failf("n=%d: %v", n, err)
+			continue
+		}
+		words := res.MaxLabelWords()
+
+		// Online baseline: the querying node runs distributed
+		// Bellman–Ford; the wave settles only after ≥ S rounds.
+		online, err := bellmanford.SSSP(g, 0, congestCfg())
+		if err != nil {
+			t.Failf("n=%d online: %v", n, err)
+			continue
+		}
+
+		// Sketch fetch: node 0 fetches the antipodal ring node's sketch
+		// over the BFS tree, word-serialized and pipelined.
+		tree, err := bfstree.Build(g, n-1, congestCfg())
+		if err != nil {
+			t.Failf("n=%d tree: %v", n, err)
+			continue
+		}
+		sketches := make([][]byte, n)
+		for u := 0; u < n; u++ {
+			sketches[u] = sketch.MarshalTZ(res.Labels[u])
+		}
+		fr, err := exchange.Fetch(g, tree, sketches, 0, ringN/2, congestCfg())
+		if err != nil {
+			t.Failf("n=%d fetch: %v", n, err)
+			continue
+		}
+
+		winner := "sketch"
+		if online.Stats.Rounds < fr.Rounds {
+			winner = "online"
+		}
+		t.AddRow(itoa(n), itoa(d), itoa(s), itoa(k), itoa(words),
+			itoa(fr.Rounds), itoa(online.Stats.Rounds), winner)
+		if d > 2 {
+			t.Failf("n=%d: hub ring should have D=2, got %d", n, d)
+		}
+		if online.Stats.Rounds < s {
+			t.Failf("n=%d: online answered in %d rounds < S=%d (impossible)", n, online.Stats.Rounds, s)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"as n grows, online cost Θ(n) overtakes the polylog sketch fetch — the paper's motivation")
+	return t
+}
+
+// E12 — distributed ≡ centralized: with shared coin flips the distributed
+// construction (both sync modes) must reproduce the centralized labels
+// exactly.
+func E12(cfg Config) *Table {
+	t := &Table{
+		Title:  "E12: distributed vs centralized label equivalence (shared coins)",
+		Header: []string{"family", "n", "k", "omniscient", "detection"},
+	}
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[0]
+		for _, k := range cfg.Ks {
+			g := graph.Make(f, n, graph.UniformWeights(1, 8), 23)
+			n := g.N() // generators may round n up (e.g. grid)
+			cent, err := tz.Build(g, k, 23)
+			if err != nil {
+				t.Failf("%s k=%d: %v", f, k, err)
+				continue
+			}
+			check := func(mode core.SyncMode) string {
+				res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 23, Mode: mode})
+				if err != nil {
+					t.Failf("%s k=%d %v: %v", f, k, mode, err)
+					return "error"
+				}
+				for u := 0; u < n; u++ {
+					a, b := res.Labels[u], cent.Labels[u]
+					if len(a.Bunch) != len(b.Bunch) {
+						t.Failf("%s k=%d %v: node %d bunch size differs", f, k, mode, u)
+						return "MISMATCH"
+					}
+					for w, e := range b.Bunch {
+						if a.Bunch[w] != e {
+							t.Failf("%s k=%d %v: node %d bunch[%d] differs", f, k, mode, u, w)
+							return "MISMATCH"
+						}
+					}
+					for i := range a.Pivots {
+						if a.Pivots[i] != b.Pivots[i] {
+							t.Failf("%s k=%d %v: node %d pivot %d differs", f, k, mode, u, i)
+							return "MISMATCH"
+						}
+					}
+				}
+				return "identical"
+			}
+			t.AddRow(string(f), itoa(n), itoa(k), check(core.SyncOmniscient), check(core.SyncDetection))
+		}
+	}
+	return t
+}
+
+// Names lists the experiment IDs in canonical order.
+func Names() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "F1", "F2"}
+}
+
+// All runs every experiment at the given scale.
+func All(s Scale) []*Table {
+	cfg := NewConfig(s)
+	out := make([]*Table, 0, len(Names()))
+	for _, name := range Names() {
+		out = append(out, ByName(name)(cfg))
+	}
+	return out
+}
+
+// ByName returns the experiment function with the given ID, or nil.
+func ByName(name string) func(Config) *Table {
+	switch name {
+	case "E1", "e1":
+		return E1
+	case "E2", "e2":
+		return E2
+	case "E3", "e3":
+		return E3
+	case "E4", "e4":
+		return E4
+	case "E5", "e5":
+		return E5
+	case "E6", "e6":
+		return E6
+	case "E7", "e7":
+		return E7
+	case "E8", "e8":
+		return E8
+	case "E9", "e9":
+		return E9
+	case "E10", "e10":
+		return E10
+	case "E11", "e11":
+		return E11
+	case "E12", "e12":
+		return E12
+	case "E13", "e13":
+		return E13
+	case "E14", "e14":
+		return E14
+	case "F1", "f1":
+		return F1
+	case "F2", "f2":
+		return F2
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"math"
+
+	"distsketch/internal/core"
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// E7 — Lemma 4.2 density nets: size ≤ (10/ε)·ln n and every node has a
+// net node within R(u, ε).
+func E7(cfg Config) *Table {
+	t := &Table{
+		Title:  "E7: ε-density nets vs Lemma 4.2 (|N| ≤ (10/ε) ln n; covering)",
+		Header: []string{"family", "n", "eps", "|N|", "size-bound", "coverViol"},
+	}
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[len(cfg.Sizes)-1]
+		for _, eps := range cfg.Epsilons {
+			g := graph.Make(f, n, graph.UniformWeights(1, 10), 11)
+			n := g.N() // generators may round n up (e.g. grid)
+			net := sketch.DensityNet(n, eps, 11, sketch.SaltNet)
+			bound := 10 / eps * math.Log(float64(n))
+			// Covering: for every u some net node within R(u, ε), the
+			// distance to u's ⌈εn⌉-th nearest node.
+			ap := graph.APSP(g)
+			viol := 0
+			need := int(math.Ceil(eps * float64(n)))
+			for u := 0; u < n; u++ {
+				row := append([]graph.Dist(nil), ap[u]...)
+				quickSelectSort(row)
+				r := row[need-1]
+				ok := false
+				for _, w := range net {
+					if ap[u][w] <= r {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					viol++
+				}
+			}
+			t.AddRow(string(f), itoa(n), f3(eps), itoa(len(net)), f1(bound), itoa(viol))
+			if float64(len(net)) > bound {
+				t.Failf("%s eps=%g: |N|=%d > %.1f", f, eps, len(net), bound)
+			}
+			if viol > 0 {
+				t.Failf("%s eps=%g: %d covering violations", f, eps, viol)
+			}
+		}
+	}
+	return t
+}
+
+func quickSelectSort(d []graph.Dist) {
+	// Distances fit a simple sort; n ≤ a few thousand here.
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j-1] > d[j]; j-- {
+			d[j-1], d[j] = d[j], d[j-1]
+		}
+	}
+}
+
+// E8 — Theorem 4.3 landmark sketches: stretch ≤ 3 on ε-far pairs, sketch
+// size O((1/ε)·log n), rounds O(S·(1/ε)·log n).
+func E8(cfg Config) *Table {
+	t := &Table{
+		Title:  "E8: landmark sketches vs Theorem 4.3 (stretch 3 with ε-slack)",
+		Header: []string{"family", "n", "eps", "farFrac", "farMax", "nearMax", "size[w]", "rounds", "roundRatio"},
+		Notes: []string{
+			"farMax must be ≤ 3; nearMax is unbounded by the theorem (shown for context)",
+			"roundRatio = rounds / (S · (10/ε) ln n)",
+		},
+	}
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[len(cfg.Sizes)-1]
+		for _, eps := range cfg.Epsilons {
+			g := graph.Make(f, n, graph.UniformWeights(1, 10), 13)
+			n := g.N() // generators may round n up (e.g. grid)
+			res, err := core.BuildLandmark(g, core.SlackOptions{Eps: eps, Seed: 13})
+			if err != nil {
+				t.Failf("%s eps=%g: %v", f, eps, err)
+				continue
+			}
+			ap := graph.APSP(g)
+			pairs := eval.AllPairs(n)
+			if n > 256 {
+				pairs = eval.SamplePairs(n, 50000, 13)
+			}
+			rep := eval.EvaluateSlack(ap, res.Query, pairs, eps)
+			s := graph.ShortestPathDiameter(g)
+			roundBound := float64(s) * 10 / eps * math.Log(float64(n))
+			t.AddRow(string(f), itoa(n), f3(eps), f3(rep.FarFrac), f3(rep.Far.MaxStretch),
+				f3(rep.Near.MaxStretch), itoa(res.MaxLabelWords()),
+				itoa(res.Cost.Total.Rounds), f3(float64(res.Cost.Total.Rounds)/roundBound))
+			if rep.Far.MaxStretch > 3 || rep.Far.Violations > 0 || rep.Far.Unreachable > 0 {
+				t.Failf("%s eps=%g: far pairs break Theorem 4.3: %v", f, eps, rep.Far)
+			}
+			// The rank-based ε-far set is exactly a (1-ε) fraction of all
+			// ordered pairs; when pairs are subsampled (n > 256) the
+			// measured fraction fluctuates around that, so allow binomial
+			// sampling noise.
+			if rep.FarFrac < 1-eps-0.01 {
+				t.Failf("%s eps=%g: far fraction %.3f < 1-ε beyond sampling noise", f, eps, rep.FarFrac)
+			}
+			if float64(res.Cost.Total.Rounds) > roundBound {
+				t.Failf("%s eps=%g: rounds %d > bound %.0f", f, eps, res.Cost.Total.Rounds, roundBound)
+			}
+		}
+	}
+	return t
+}
+
+// E9 — Theorem 4.6 (ε,k)-CDG sketches: stretch ≤ 8k-1 with ε-slack and
+// the stated size bound.
+func E9(cfg Config) *Table {
+	t := &Table{
+		Title:  "E9: (ε,k)-CDG sketches vs Theorem 4.6 (stretch 8k-1 with ε-slack)",
+		Header: []string{"family", "n", "eps", "k", "bound", "farMax", "farAvg", "size[w]", "size-bound"},
+		Notes:  []string{"size-bound = 2 + 3k((10/ε)ln n)^{1/k}·(3 ln|N|) + 2k words (whp form)"},
+	}
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[len(cfg.Sizes)-1]
+		for _, eps := range cfg.Epsilons {
+			for _, k := range cfg.Ks {
+				if k > 3 {
+					continue
+				}
+				g := graph.Make(f, n, graph.UniformWeights(1, 10), 17)
+				n := g.N() // generators may round n up (e.g. grid)
+				res, err := core.BuildCDG(g, core.SlackOptions{Eps: eps, K: k, Seed: 17})
+				if err != nil {
+					t.Failf("%s eps=%g k=%d: %v", f, eps, k, err)
+					continue
+				}
+				ap := graph.APSP(g)
+				pairs := eval.AllPairs(n)
+				if n > 256 {
+					pairs = eval.SamplePairs(n, 50000, 17)
+				}
+				rep := eval.EvaluateSlack(ap, res.Query, pairs, eps)
+				bound := float64(8*k - 1)
+				netSize := float64(len(res.Net))
+				sizeBound := 2 + float64(2*k) + 3*float64(k)*math.Pow(10/eps*math.Log(float64(n)), 1/float64(k))*3*math.Log(netSize+2)
+				t.AddRow(string(f), itoa(n), f3(eps), itoa(k), f1(bound),
+					f3(rep.Far.MaxStretch), f3(rep.Far.AvgStretch),
+					itoa(res.MaxLabelWords()), f1(sizeBound))
+				if rep.Far.MaxStretch > bound || rep.Far.Violations > 0 || rep.Far.Unreachable > 0 {
+					t.Failf("%s eps=%g k=%d: far pairs break Theorem 4.6: %v", f, eps, k, rep.Far)
+				}
+				if float64(res.MaxLabelWords()) > sizeBound {
+					t.Failf("%s eps=%g k=%d: size %d > whp bound %.0f", f, eps, k, res.MaxLabelWords(), sizeBound)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// E10 — Theorem 4.8 / Corollary 4.9 gracefully degrading sketches: size
+// O(log⁴ n), worst-case stretch O(log n), average stretch O(1) (flat in n).
+func E10(cfg Config) *Table {
+	t := &Table{
+		Title:  "E10: gracefully degrading sketches vs Theorem 4.8 / Cor 4.9",
+		Header: []string{"family", "n", "size[w]", "log⁴n", "worst", "worstBound", "avg", "rounds"},
+		Notes: []string{
+			"avg must stay O(1): flat as n grows (Cor 4.9)",
+			"worstBound = 8⌈log₂ n⌉ - 1",
+		},
+	}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.Sizes {
+			g := graph.Make(f, n, graph.UniformWeights(1, 10), 19)
+			n := g.N() // generators may round n up (e.g. grid)
+			res, err := core.BuildGraceful(g, 19, congestCfg())
+			if err != nil {
+				t.Failf("%s n=%d: %v", f, n, err)
+				continue
+			}
+			ap := graph.APSP(g)
+			rep := eval.Evaluate(ap, res.Query, eval.AllPairs(n))
+			avg := eval.AvgStretchAllPairs(ap, res.Query)
+			worstBound := float64(8*sketch.GracefulLevels(n) - 1)
+			log4 := math.Pow(math.Log2(float64(n)), 4)
+			t.AddRow(string(f), itoa(n), itoa(res.MaxLabelWords()), f1(log4),
+				f3(rep.MaxStretch), f1(worstBound), f3(avg), itoa(res.Cost.Total.Rounds))
+			if rep.MaxStretch > worstBound || rep.Violations > 0 || rep.Unreachable > 0 {
+				t.Failf("%s n=%d: worst stretch %.2f > %g or invalid estimates", f, n, rep.MaxStretch, worstBound)
+			}
+			if avg > 12 {
+				t.Failf("%s n=%d: average stretch %.2f not O(1)-plausible", f, n, avg)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"math"
+
+	"distsketch/internal/core"
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+	"distsketch/internal/tz"
+)
+
+// tzBoundRounds is the Theorem 3.8 round bound with the Lemma 3.6
+// constant: k phases of ≤ 3·n^{1/k}·ln(n)·S rounds.
+func tzBoundRounds(n, k, s int) float64 {
+	return float64(k) * 3 * math.Pow(float64(n), 1/float64(k)) * math.Log(float64(n)) * float64(s)
+}
+
+// E1 — Theorem 1.1/3.8 round complexity: measured rounds of the
+// distributed TZ construction vs the O(k·n^{1/k}·S·log n) bound.
+func E1(cfg Config) *Table {
+	t := &Table{
+		Title:  "E1: TZ construction rounds vs Theorem 3.8 bound O(k n^{1/k} S log n)",
+		Header: []string{"family", "n", "k", "S", "rounds", "bound", "ratio"},
+		Notes:  []string{"ratio = rounds / (3 k n^{1/k} ln(n) S); must stay ≤ 1 (and shrink as the bound is worst-case)"},
+	}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.Sizes {
+			for _, k := range cfg.Ks {
+				var rounds, s int
+				for seed := 0; seed < cfg.Seeds; seed++ {
+					g := graph.Make(f, n, graph.UniformWeights(1, 10), uint64(seed)*7+1)
+					n := g.N() // generators may round n up (e.g. grid)
+					res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: uint64(seed), Mode: core.SyncOmniscient})
+					if err != nil {
+						t.Failf("%s n=%d k=%d: %v", f, n, k, err)
+						continue
+					}
+					if r := res.Cost.Total.Rounds; r > rounds {
+						rounds = r
+						s = graph.ShortestPathDiameter(g)
+					}
+				}
+				bound := tzBoundRounds(n, k, s)
+				ratio := float64(rounds) / bound
+				t.AddRow(string(f), itoa(n), itoa(k), itoa(s), itoa(rounds), f1(bound), f3(ratio))
+				if float64(rounds) > bound+float64(k) {
+					t.Failf("%s n=%d k=%d: rounds %d exceed bound %.0f", f, n, k, rounds, bound)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// E2 — Theorem 1.1/3.8 message complexity: measured messages vs
+// O(k·n^{1/k}·S·|E|·log n).
+func E2(cfg Config) *Table {
+	t := &Table{
+		Title:  "E2: TZ construction messages vs Theorem 3.8 bound O(k n^{1/k} S |E| log n)",
+		Header: []string{"family", "n", "k", "S", "|E|", "messages", "bound", "ratio"},
+		Notes:  []string{"bound = 2|E| × round bound (≤ 2 messages per edge per round)"},
+	}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.Sizes {
+			for _, k := range cfg.Ks {
+				g := graph.Make(f, n, graph.UniformWeights(1, 10), 1)
+				n := g.N() // generators may round n up (e.g. grid)
+				res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 1, Mode: core.SyncOmniscient})
+				if err != nil {
+					t.Failf("%s n=%d k=%d: %v", f, n, k, err)
+					continue
+				}
+				s := graph.ShortestPathDiameter(g)
+				bound := 2 * float64(g.M()) * tzBoundRounds(n, k, s)
+				msgs := res.Cost.Total.Messages
+				ratio := float64(msgs) / bound
+				t.AddRow(string(f), itoa(n), itoa(k), itoa(s), itoa(g.M()),
+					i64toa(msgs), f1(bound), f3(ratio))
+				if float64(msgs) > bound {
+					t.Failf("%s n=%d k=%d: messages %d exceed bound %.0f", f, n, k, msgs, bound)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// E3 — Lemma 3.1 / Theorem 3.8 sketch size: mean label size vs
+// O(k·n^{1/k}) words expected, max vs the whp O(k·n^{1/k}·log n) bound.
+func E3(cfg Config) *Table {
+	t := &Table{
+		Title:  "E3: TZ sketch size vs Lemma 3.1 (mean ≤ c·k·n^{1/k}) and whp bound",
+		Header: []string{"family", "n", "k", "mean[w]", "E-bound", "mean/bound", "max[w]", "whp-bound"},
+		Notes: []string{
+			"words: 2 per pivot + 3 per bunch entry",
+			"E-bound = 2k + 3·k·n^{1/k}; whp-bound = 2k + 3·k·(3 n^{1/k} ln n)",
+		},
+	}
+	for _, f := range cfg.Families {
+		for _, n := range cfg.Sizes {
+			for _, k := range cfg.Ks {
+				var meanSum float64
+				maxW := 0
+				for seed := 0; seed < cfg.Seeds; seed++ {
+					g := graph.Make(f, n, graph.UniformWeights(1, 10), uint64(seed)*13+2)
+					n := g.N() // generators may round n up (e.g. grid)
+					res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: uint64(seed), Mode: core.SyncOmniscient})
+					if err != nil {
+						t.Failf("%s n=%d k=%d: %v", f, n, k, err)
+						continue
+					}
+					meanSum += res.MeanLabelWords()
+					if m := res.MaxLabelWords(); m > maxW {
+						maxW = m
+					}
+				}
+				mean := meanSum / float64(cfg.Seeds)
+				perLevel := math.Pow(float64(n), 1/float64(k))
+				eBound := float64(2*k) + 3*float64(k)*perLevel
+				whpBound := float64(2*k) + 3*float64(k)*3*perLevel*math.Log(float64(n))
+				t.AddRow(string(f), itoa(n), itoa(k), f1(mean), f1(eBound),
+					f2(mean/eBound), itoa(maxW), f1(whpBound))
+				// Lemma 3.1 is an expectation; allow 2x sampling slack.
+				if mean > 2*eBound {
+					t.Failf("%s n=%d k=%d: mean size %.1f > 2x expected bound %.1f", f, n, k, mean, eBound)
+				}
+				if float64(maxW) > whpBound {
+					t.Failf("%s n=%d k=%d: max size %d > whp bound %.1f", f, n, k, maxW, whpBound)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// E4 — Lemma 3.2 stretch: distance estimates from two labels are within
+// 2k-1 of the truth, never below it.
+func E4(cfg Config) *Table {
+	t := &Table{
+		Title:  "E4: TZ query stretch vs Lemma 3.2 bound 2k-1",
+		Header: []string{"family", "n", "k", "bound", "max", "avg", "p99", "viol"},
+	}
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[len(cfg.Sizes)-1]
+		for _, k := range cfg.Ks {
+			g := graph.Make(f, n, graph.UniformWeights(1, 10), 5)
+			n := g.N() // generators may round n up (e.g. grid)
+			res, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 5, Mode: core.SyncOmniscient})
+			if err != nil {
+				t.Failf("%s k=%d: %v", f, k, err)
+				continue
+			}
+			ap := graph.APSP(g)
+			pairs := eval.AllPairs(n)
+			if n > 256 {
+				pairs = eval.SamplePairs(n, 50000, 5)
+			}
+			rep := eval.Evaluate(ap, res.Query, pairs)
+			bound := float64(2*k - 1)
+			t.AddRow(string(f), itoa(n), itoa(k), f1(bound), f3(rep.MaxStretch),
+				f3(rep.AvgStretch), f3(rep.P99), itoa(rep.Violations))
+			if rep.MaxStretch > bound || rep.Violations > 0 || rep.Unreachable > 0 {
+				t.Failf("%s n=%d k=%d: stretch report %v breaks Lemma 3.2", f, n, k, rep)
+			}
+		}
+	}
+	return t
+}
+
+// E5 — Lemma 3.6 tail bound: Pr[|B_i(u)| > 3·n^{1/k}·ln n] ≤ 1/n³, so a
+// Monte-Carlo sweep should essentially never see an exceedance.
+func E5(cfg Config) *Table {
+	t := &Table{
+		Title:  "E5: bunch-size tail vs Lemma 3.6 (P[|B_i(u)| > 3 n^{1/k} ln n] ≤ n^{-3})",
+		Header: []string{"n", "k", "samples", "threshold", "exceed", "maxSeen"},
+	}
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	for _, k := range cfg.Ks {
+		if k < 2 {
+			continue
+		}
+		threshold := 3 * math.Pow(float64(n), 1/float64(k)) * math.Log(float64(n))
+		samples, exceed, maxSeen := 0, 0, 0
+		for seed := 0; seed < cfg.Seeds*2; seed++ {
+			g := graph.Make(graph.FamilyER, n, graph.UnitWeights(), uint64(seed)*3+7)
+			o, err := tz.Build(g, k, uint64(seed))
+			if err != nil {
+				t.Failf("n=%d k=%d: %v", n, k, err)
+				continue
+			}
+			perLevel := make([]int, k)
+			for u := 0; u < n; u++ {
+				for i := range perLevel {
+					perLevel[i] = 0
+				}
+				for _, e := range o.Label(u).Bunch {
+					perLevel[e.Level]++
+				}
+				for _, c := range perLevel {
+					samples++
+					if float64(c) > threshold {
+						exceed++
+					}
+					if c > maxSeen {
+						maxSeen = c
+					}
+				}
+			}
+		}
+		t.AddRow(itoa(n), itoa(k), itoa(samples), f1(threshold), itoa(exceed), itoa(maxSeen))
+		if exceed > 0 {
+			t.Failf("n=%d k=%d: %d/%d samples exceeded the Lemma 3.6 threshold", n, k, exceed, samples)
+		}
+	}
+	return t
+}
+
+// E6 — Section 3.3 termination detection overhead: detection vs
+// omniscient vs analytic synchronization.
+func E6(cfg Config) *Table {
+	t := &Table{
+		Title:  "E6: synchronization mode overhead (Section 3.3)",
+		Header: []string{"family", "n", "mode", "rounds", "msgs", "data", "echo", "ctrl"},
+		Notes: []string{
+			"detection: echo == data (1:1 discipline), control = BFS tree + START/COMPLETE/FINISH",
+			"analytic runs the full worst-case phase bound, hence its large round count",
+		},
+	}
+	k := 3
+	for _, f := range cfg.Families {
+		n := cfg.Sizes[len(cfg.Sizes)-1]
+		g := graph.Make(f, n, graph.UniformWeights(1, 10), 9)
+		n = g.N() // generators may round n up (e.g. grid)
+		s := graph.ShortestPathDiameter(g)
+
+		omn, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 9, Mode: core.SyncOmniscient})
+		if err != nil {
+			t.Failf("%s omniscient: %v", f, err)
+			continue
+		}
+		t.AddRow(string(f), itoa(n), "omniscient", itoa(omn.Cost.Total.Rounds),
+			i64toa(omn.Cost.Total.Messages), i64toa(omn.Cost.DataMessages), "0", "0")
+
+		ana, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 9, Mode: core.SyncAnalytic, S: s})
+		if err != nil {
+			t.Failf("%s analytic: %v", f, err)
+		} else {
+			t.AddRow(string(f), itoa(n), "analytic", itoa(ana.Cost.Total.Rounds),
+				i64toa(ana.Cost.Total.Messages), i64toa(ana.Cost.DataMessages), "0", "0")
+		}
+
+		det, err := core.BuildTZ(g, core.TZOptions{K: k, Seed: 9, Mode: core.SyncDetection})
+		if err != nil {
+			t.Failf("%s detection: %v", f, err)
+			continue
+		}
+		t.AddRow(string(f), itoa(n), "detection", itoa(det.Cost.Total.Rounds),
+			i64toa(det.Cost.Total.Messages), i64toa(det.Cost.DataMessages),
+			i64toa(det.Cost.EchoMessages), i64toa(det.Cost.ControlMessages))
+		if det.Cost.EchoMessages != det.Cost.DataMessages {
+			t.Failf("%s: echo %d != data %d", f, det.Cost.EchoMessages, det.Cost.DataMessages)
+		}
+		if det.Cost.ControlMessages > int64(6*g.N()+4*g.M()) {
+			t.Failf("%s: control messages %d above O(n + |E|) budget", f, det.Cost.ControlMessages)
+		}
+		for u := 0; u < n; u++ {
+			if sketch.QueryTZ(det.Labels[u], det.Labels[(u+1)%n]) != sketch.QueryTZ(omn.Labels[u], omn.Labels[(u+1)%n]) {
+				t.Failf("%s: detection and omniscient disagree at node %d", f, u)
+				break
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at Quick scale and
+// requires every paper bound to hold.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments sweep skipped in -short mode")
+	}
+	for _, tab := range All(Quick) {
+		tab := tab
+		t.Run(strings.SplitN(tab.Title, ":", 2)[0], func(t *testing.T) {
+			if !tab.OK() {
+				t.Errorf("bounds violated:\n%s", tab.String())
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"E1", "e5", "E12"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("E99") != nil {
+		t.Error("ByName(E99) should be nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	for _, want := range []string{"demo", "a note", "all bounds held"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	tab.Failf("boom %d", 42)
+	if tab.OK() {
+		t.Error("OK() after Failf")
+	}
+	if !strings.Contains(tab.String(), "boom 42") {
+		t.Error("failure not rendered")
+	}
+}

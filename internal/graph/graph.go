@@ -1,0 +1,306 @@
+// Package graph provides weighted undirected graphs, generators for the
+// network families used in the evaluation, and exact shortest-path
+// algorithms that serve as ground truth for the sketch constructions.
+//
+// Conventions shared by the whole repository:
+//
+//   - Nodes are dense integers 0..n-1 (the paper's round-robin scheduler
+//     assumes V = {0..n-1}; see Section 3.2 of the paper).
+//   - Edge weights are nonnegative int64 and are assumed polynomial in n,
+//     so a distance always fits in one O(log n)-bit word.
+//   - Infinity is represented by the sentinel Inf. Arithmetic on distances
+//     must go through AddDist, which saturates at Inf instead of
+//     overflowing.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a shortest-path distance. Weights are integral; the paper assumes
+// weights polynomial in n so that a distance fits in a single CONGEST word.
+type Dist = int64
+
+// Inf is the "no path / undefined" distance sentinel (d(u, A_k) = ∞ in the
+// paper). It is never produced by arithmetic: use AddDist to add distances.
+const Inf Dist = math.MaxInt64
+
+// AddDist returns a+b, saturating at Inf if either operand is Inf or the
+// sum would overflow. All distance arithmetic in the repository uses this.
+func AddDist(a, b Dist) Dist {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	if a > Inf-b {
+		return Inf
+	}
+	return a + b
+}
+
+// Edge is an undirected weighted edge. Endpoints are kept ordered U < V for
+// canonical representation; the graph stores each edge once.
+type Edge struct {
+	U, V   int
+	Weight Dist
+}
+
+// Arc is one direction of an edge as seen from a node's adjacency list.
+type Arc struct {
+	To     int
+	Weight Dist
+}
+
+// Graph is an immutable weighted undirected graph with dense node IDs
+// 0..N()-1. Build one with a Builder or a generator; after Freeze the
+// adjacency structure never changes, so it is safe for concurrent readers
+// (the CONGEST simulator reads it from many goroutines).
+type Graph struct {
+	n     int
+	adj   [][]Arc // adj[u] sorted by To
+	edges []Edge  // canonical U<V, sorted
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the canonical edge list (U < V, sorted). Callers must not
+// modify the returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Adj returns the adjacency list of u, sorted by neighbor ID. Callers must
+// not modify the returned slice.
+func (g *Graph) Adj(u int) []Arc { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeWeight(u, v)
+	return ok
+}
+
+// EdgeWeight returns the weight of edge {u,v} if present.
+func (g *Graph) EdgeWeight(u, v int) (Dist, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= v })
+	if i < len(a) && a[i].To == v {
+		return a[i].Weight, true
+	}
+	return 0, false
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() Dist {
+	var s Dist
+	for _, e := range g.edges {
+		s = AddDist(s, e.Weight)
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.M())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges keep the minimum weight (parallel edges are meaningless for
+// shortest paths); self-loops are rejected.
+type Builder struct {
+	n     int
+	w     map[[2]int]Dist
+	errlt error
+}
+
+// NewBuilder creates a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, w: make(map[[2]int]Dist)}
+}
+
+// AddEdge records the undirected edge {u,v} with the given weight. If the
+// edge was added before, the smaller weight wins. Errors are latched and
+// reported by Freeze.
+func (b *Builder) AddEdge(u, v int, weight Dist) {
+	if b.errlt != nil {
+		return
+	}
+	switch {
+	case u < 0 || u >= b.n || v < 0 || v >= b.n:
+		b.errlt = fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return
+	case u == v:
+		b.errlt = fmt.Errorf("graph: self-loop at node %d", u)
+		return
+	case weight < 0:
+		b.errlt = fmt.Errorf("graph: negative weight %d on edge (%d,%d)", weight, u, v)
+		return
+	case weight >= Inf:
+		b.errlt = fmt.Errorf("graph: weight %d on edge (%d,%d) is the Inf sentinel", weight, u, v)
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if old, ok := b.w[key]; !ok || weight < old {
+		b.w[key] = weight
+	}
+}
+
+// Freeze validates and returns the immutable graph.
+func (b *Builder) Freeze() (*Graph, error) {
+	if b.errlt != nil {
+		return nil, b.errlt
+	}
+	g := &Graph{n: b.n, adj: make([][]Arc, b.n)}
+	g.edges = make([]Edge, 0, len(b.w))
+	deg := make([]int, b.n)
+	for key, w := range b.w {
+		g.edges = append(g.edges, Edge{U: key[0], V: key[1], Weight: w})
+		deg[key[0]]++
+		deg[key[1]]++
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	for u := 0; u < b.n; u++ {
+		g.adj[u] = make([]Arc, 0, deg[u])
+	}
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, Weight: e.Weight})
+		g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, Weight: e.Weight})
+	}
+	for u := 0; u < b.n; u++ {
+		a := g.adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+	return g, nil
+}
+
+// MustFreeze is Freeze for generators whose inputs are known valid.
+func (b *Builder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph on n nodes from an explicit edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.Weight)
+	}
+	return b.Freeze()
+}
+
+// ErrDisconnected is returned by operations that require a connected graph.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Components returns the connected components as slices of node IDs.
+func (g *Graph) Components() [][]int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(out)
+		var nodes []int
+		stack := []int{s}
+		comp[s] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nodes = append(nodes, u)
+			for _, a := range g.adj[u] {
+				if comp[a.To] < 0 {
+					comp[a.To] = id
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		sort.Ints(nodes)
+		out = append(out, nodes)
+	}
+	return out
+}
+
+// Validate checks internal invariants (used by property tests).
+func (g *Graph) Validate() error {
+	for u := 0; u < g.n; u++ {
+		prev := -1
+		for _, a := range g.adj[u] {
+			if a.To <= prev {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			prev = a.To
+			if a.To == u {
+				return fmt.Errorf("graph: self loop at %d", u)
+			}
+			w, ok := g.EdgeWeight(a.To, u)
+			if !ok || w != a.Weight {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, a.To)
+			}
+		}
+	}
+	deg2 := 0
+	for u := 0; u < g.n; u++ {
+		deg2 += len(g.adj[u])
+	}
+	if deg2 != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2m=%d", deg2, 2*len(g.edges))
+	}
+	return nil
+}

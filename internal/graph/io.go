@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list serialization, DIMACS-flavored, so networks measured
+// elsewhere can be replayed through the sketch constructions:
+//
+//	# comment
+//	p <n> <m>
+//	e <u> <v> <weight>
+//
+// Node IDs are 0-based. The problem line must precede all edge lines.
+
+// WriteEdgeList serializes g.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a graph written by WriteEdgeList (or by hand).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	edges := 0
+	wantEdges := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'p <n> <m>'", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad n %q", line, fields[1])
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad m %q", line, fields[2])
+			}
+			b = NewBuilder(n)
+			wantEdges = m
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v> <w>'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			b.AddEdge(u, v, w)
+			edges++
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	if wantEdges >= 0 && edges != wantEdges {
+		return nil, fmt.Errorf("graph: problem line declares %d edges, found %d", wantEdges, edges)
+	}
+	return b.Freeze()
+}

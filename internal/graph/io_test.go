@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, f := range AllFamilies() {
+		g := Make(f, 40, UniformWeights(1, 99), 3)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("%s: size mismatch", f)
+		}
+		ea, eb := g.Edges(), got.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%s: edge %d differs: %v vs %v", f, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestReadEdgeListHandWritten(t *testing.T) {
+	src := `
+# a triangle with a pendant
+p 4 4
+e 0 1 5
+e 1 2 3
+e 2 0 1
+e 2 3 10
+`
+	g, err := ReadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if w, ok := g.EdgeWeight(2, 3); !ok || w != 10 {
+		t.Errorf("edge (2,3) = %d,%v", w, ok)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"edge-first":      "e 0 1 2\np 2 1\n",
+		"bad-problem":     "p x 1\n",
+		"short-problem":   "p 4\n",
+		"bad-edge":        "p 2 1\ne 0 one 2\n",
+		"short-edge":      "p 2 1\ne 0 1\n",
+		"count-mismatch":  "p 3 2\ne 0 1 1\n",
+		"double-problem":  "p 2 0\np 2 0\n",
+		"unknown-record":  "p 2 0\nq 1 2 3\n",
+		"self-loop":       "p 2 1\ne 1 1 4\n",
+		"out-of-range":    "p 2 1\ne 0 7 4\n",
+		"negative-weight": "p 2 1\ne 0 1 -3\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteEdgeListFormat(t *testing.T) {
+	g := Path(3, UnitWeights(), 0)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "p 3 2\ne 0 1 1\ne 1 2 1\n"
+	if buf.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

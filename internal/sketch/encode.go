@@ -1,0 +1,306 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distsketch/internal/graph"
+)
+
+// Binary serialization for labels. In a deployment this is the payload a
+// node ships when another node asks for its sketch (the §2.1 scenario:
+// "it can directly contact the other node using its IP address and ask
+// for its sketch"). The format is varint-based and self-delimiting.
+
+const (
+	tagTZ       = 1
+	tagLandmark = 2
+	tagCDG      = 3
+	tagGraceful = 4
+)
+
+func putInt(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func getInt(buf *bytes.Reader) (int64, error) {
+	return binary.ReadVarint(buf)
+}
+
+// dist sentinel: graph.Inf encodes as -1 (varint-friendly).
+func putDist(buf *bytes.Buffer, d graph.Dist) {
+	if d == graph.Inf {
+		putInt(buf, -1)
+		return
+	}
+	putInt(buf, int64(d))
+}
+
+func getDist(buf *bytes.Reader) (graph.Dist, error) {
+	v, err := getInt(buf)
+	if err != nil {
+		return 0, err
+	}
+	if v == -1 {
+		return graph.Inf, nil
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("sketch: negative distance %d", v)
+	}
+	return graph.Dist(v), nil
+}
+
+// MarshalTZ encodes a TZ label.
+func MarshalTZ(l *TZLabel) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(tagTZ)
+	putInt(&buf, int64(l.Owner))
+	putInt(&buf, int64(l.K))
+	for _, p := range l.Pivots {
+		putInt(&buf, int64(p.Node))
+		putDist(&buf, p.Dist)
+	}
+	putInt(&buf, int64(len(l.Bunch)))
+	for _, w := range l.BunchNodes() {
+		e := l.Bunch[w]
+		putInt(&buf, int64(w))
+		putDist(&buf, e.Dist)
+		putInt(&buf, int64(e.Level))
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalTZ decodes a TZ label produced by MarshalTZ.
+func UnmarshalTZ(data []byte) (*TZLabel, error) {
+	r := bytes.NewReader(data)
+	tag, err := r.ReadByte()
+	if err != nil || tag != tagTZ {
+		return nil, fmt.Errorf("sketch: bad TZ tag")
+	}
+	l, err := readTZ(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
+	}
+	return l, nil
+}
+
+func readTZ(r *bytes.Reader) (*TZLabel, error) {
+	owner, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > math.MaxInt32 {
+		return nil, fmt.Errorf("sketch: bad k %d", k)
+	}
+	l := NewTZLabel(int(owner), int(k))
+	for i := 0; i < int(k); i++ {
+		node, err := getInt(r)
+		if err != nil {
+			return nil, err
+		}
+		d, err := getDist(r)
+		if err != nil {
+			return nil, err
+		}
+		l.Pivots[i] = Pivot{Node: int(node), Dist: d}
+	}
+	m, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("sketch: negative bunch size")
+	}
+	for j := 0; j < int(m); j++ {
+		w, err := getInt(r)
+		if err != nil {
+			return nil, err
+		}
+		d, err := getDist(r)
+		if err != nil {
+			return nil, err
+		}
+		lev, err := getInt(r)
+		if err != nil {
+			return nil, err
+		}
+		l.Bunch[int(w)] = BunchEntry{Dist: d, Level: int(lev)}
+	}
+	return l, nil
+}
+
+// MarshalLandmark encodes a landmark label.
+func MarshalLandmark(l *LandmarkLabel) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(tagLandmark)
+	putInt(&buf, int64(l.Owner))
+	putInt(&buf, int64(len(l.Dists)))
+	for _, w := range l.NetNodes() {
+		putInt(&buf, int64(w))
+		putDist(&buf, l.Dists[w])
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalLandmark decodes a landmark label.
+func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
+	r := bytes.NewReader(data)
+	tag, err := r.ReadByte()
+	if err != nil || tag != tagLandmark {
+		return nil, fmt.Errorf("sketch: bad landmark tag")
+	}
+	owner, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLandmarkLabel(int(owner))
+	for j := 0; j < int(m); j++ {
+		w, err := getInt(r)
+		if err != nil {
+			return nil, err
+		}
+		d, err := getDist(r)
+		if err != nil {
+			return nil, err
+		}
+		l.Dists[int(w)] = d
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
+	}
+	return l, nil
+}
+
+// MarshalCDG encodes a CDG label.
+func MarshalCDG(l *CDGLabel) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(tagCDG)
+	writeCDG(&buf, l)
+	return buf.Bytes()
+}
+
+func writeCDG(buf *bytes.Buffer, l *CDGLabel) {
+	putInt(buf, int64(l.Owner))
+	putInt(buf, int64(math.Float64bits(l.Eps)))
+	putInt(buf, int64(l.NetNode))
+	putDist(buf, l.NetDist)
+	if l.NetLabel == nil {
+		putInt(buf, 0)
+		return
+	}
+	putInt(buf, 1)
+	buf.Write(MarshalTZ(l.NetLabel))
+}
+
+// UnmarshalCDG decodes a CDG label.
+func UnmarshalCDG(data []byte) (*CDGLabel, error) {
+	r := bytes.NewReader(data)
+	tag, err := r.ReadByte()
+	if err != nil || tag != tagCDG {
+		return nil, fmt.Errorf("sketch: bad CDG tag")
+	}
+	l, err := readCDG(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
+	}
+	return l, nil
+}
+
+func readCDG(r *bytes.Reader) (*CDGLabel, error) {
+	owner, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	epsBits, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	netNode, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	netDist, err := getDist(r)
+	if err != nil {
+		return nil, err
+	}
+	hasLabel, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	l := &CDGLabel{
+		Owner:   int(owner),
+		Eps:     math.Float64frombits(uint64(epsBits)),
+		NetNode: int(netNode),
+		NetDist: netDist,
+	}
+	if hasLabel == 1 {
+		tag, err := r.ReadByte()
+		if err != nil || tag != tagTZ {
+			return nil, fmt.Errorf("sketch: bad nested TZ tag")
+		}
+		l.NetLabel, err = readTZ(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// MarshalGraceful encodes a graceful label.
+func MarshalGraceful(l *GracefulLabel) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(tagGraceful)
+	putInt(&buf, int64(l.Owner))
+	putInt(&buf, int64(len(l.Levels)))
+	for _, c := range l.Levels {
+		writeCDG(&buf, c)
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalGraceful decodes a graceful label.
+func UnmarshalGraceful(data []byte) (*GracefulLabel, error) {
+	r := bytes.NewReader(data)
+	tag, err := r.ReadByte()
+	if err != nil || tag != tagGraceful {
+		return nil, fmt.Errorf("sketch: bad graceful tag")
+	}
+	owner, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := getInt(r)
+	if err != nil {
+		return nil, err
+	}
+	l := &GracefulLabel{Owner: int(owner)}
+	for j := 0; j < int(m); j++ {
+		c, err := readCDG(r)
+		if err != nil {
+			return nil, err
+		}
+		l.Levels = append(l.Levels, c)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
+	}
+	return l, nil
+}

@@ -1,0 +1,80 @@
+package sketch
+
+import (
+	"testing"
+
+	"distsketch/internal/graph"
+)
+
+// Fuzz targets: the Unmarshal functions must never panic on arbitrary
+// bytes — they face data received from untrusted peers (Section 2.1's
+// "ask for its sketch").
+
+func FuzzUnmarshalTZ(f *testing.F) {
+	l := NewTZLabel(3, 2)
+	l.Pivots[0] = Pivot{Node: 3, Dist: 0}
+	l.Pivots[1] = Pivot{Node: 9, Dist: 7}
+	l.Bunch[9] = BunchEntry{Dist: 7, Level: 1}
+	f.Add(MarshalTZ(l))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lab, err := UnmarshalTZ(data)
+		if err == nil && lab == nil {
+			t.Error("nil label without error")
+		}
+		if err == nil {
+			// Decoded labels must round-trip.
+			if _, err2 := UnmarshalTZ(MarshalTZ(lab)); err2 != nil {
+				t.Errorf("re-marshal failed: %v", err2)
+			}
+		}
+	})
+}
+
+func FuzzUnmarshalLandmark(f *testing.F) {
+	l := NewLandmarkLabel(2)
+	l.Dists[5] = 9
+	f.Add(MarshalLandmark(l))
+	f.Add([]byte{2, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lab, err := UnmarshalLandmark(data)
+		if err == nil && lab == nil {
+			t.Error("nil label without error")
+		}
+	})
+}
+
+func FuzzUnmarshalGraceful(f *testing.F) {
+	l := &GracefulLabel{Owner: 1}
+	l.Levels = append(l.Levels, &CDGLabel{Owner: 1, Eps: 0.5, NetNode: 2, NetDist: 3})
+	f.Add(MarshalGraceful(l))
+	f.Add([]byte{4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lab, err := UnmarshalGraceful(data)
+		if err == nil && lab == nil {
+			t.Error("nil label without error")
+		}
+	})
+}
+
+// FuzzQueryTZ checks the query never panics and never returns a negative
+// distance on structurally valid label pairs decoded from fuzz input.
+func FuzzQueryTZ(f *testing.F) {
+	a := NewTZLabel(0, 2)
+	a.Pivots[0] = Pivot{Node: 0, Dist: 0}
+	a.Pivots[1] = Pivot{Node: 7, Dist: 4}
+	a.Bunch[7] = BunchEntry{Dist: 4, Level: 1}
+	f.Add(MarshalTZ(a), MarshalTZ(a))
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		la, errA := UnmarshalTZ(da)
+		lb, errB := UnmarshalTZ(db)
+		if errA != nil || errB != nil {
+			return
+		}
+		if d := QueryTZ(la, lb); d < 0 && d != graph.Inf {
+			t.Errorf("negative estimate %d", d)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+// Package sketch defines the distance-sketch (label) data types shared by
+// the centralized reference constructions (internal/tz) and the distributed
+// CONGEST constructions (internal/core), together with the query
+// algorithms that turn two labels into a distance estimate.
+//
+// Terminology follows the paper:
+//
+//   - A hierarchy A_0 ⊇ A_1 ⊇ ... ⊇ A_{k-1}, A_k = ∅ is sampled by
+//     independent per-node coins (each node of A_{i-1} survives to A_i
+//     with probability p).
+//   - topLevel(u) is the largest i with u ∈ A_i.
+//   - p_i(u) is the node of A_i nearest to u (the "pivot"), with ties
+//     broken toward the smaller node ID.
+//   - B_i(u) = {w ∈ A_i : d(u,w) < d(u, A_{i+1})} and the bunch
+//     B(u) = ∪_i B_i(u). Because w ∈ A_{i+1} has d(u,w) ≥ d(u,A_{i+1}),
+//     each bunch member w belongs exactly to B_{topLevel(w)}(u); the
+//     union is disjoint.
+//
+// The label L(u) stores the pivots (with distances) and the bunch (with
+// distances and top levels), which is exactly the information the paper's
+// query procedure (Lemma 3.2) needs.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"distsketch/internal/graph"
+)
+
+// Salts separate the independent coin streams used by the different
+// constructions so that, e.g., hierarchy levels and density-net membership
+// are independent even under a shared master seed.
+const (
+	SaltLevels uint64 = 0xA11CE // Thorup–Zwick hierarchy coins (§3.1)
+	SaltNet    uint64 = 0xBEE5  // ε-density net membership coins (Lemma 4.2)
+	SaltNetTZ  uint64 = 0xCAB1E // hierarchy coins on the net (Lemma 4.5)
+)
+
+// NodeRNG returns the private random stream of a node for one construction
+// (identified by salt). Both the distributed nodes and the centralized
+// reference samplers derive coins from this same function, which is what
+// makes the distributed-vs-centralized equivalence check (E12) exact.
+func NodeRNG(seed, salt uint64, id int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^salt, uint64(id)*0x9e3779b97f4a7c15+salt+1))
+}
+
+// TopLevelFromRNG draws a node's top level: the node is in A_0 always and
+// survives from A_i to A_{i+1} with probability p, for at most k-1
+// promotions (A_k = ∅ by definition).
+func TopLevelFromRNG(r *rand.Rand, k int, p float64) int {
+	level := 0
+	for level < k-1 && r.Float64() < p {
+		level++
+	}
+	return level
+}
+
+// TopLevel returns node id's top level for the standard TZ hierarchy with
+// per-level survival probability p. Deterministic in (seed, id, k, p up to
+// the coin comparisons).
+func TopLevel(seed uint64, id, k int, p float64) int {
+	return TopLevelFromRNG(NodeRNG(seed, SaltLevels, id), k, p)
+}
+
+// SampleLevels draws top levels for all n nodes. levels[u] ∈ [0, k-1].
+func SampleLevels(n, k int, p float64, seed uint64) []int {
+	levels := make([]int, n)
+	for u := 0; u < n; u++ {
+		levels[u] = TopLevel(seed, u, k, p)
+	}
+	return levels
+}
+
+// HierarchyProb returns the per-level survival probability n^{-1/k} used
+// by the standard construction (§3.1).
+func HierarchyProb(n, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return math.Pow(float64(n), -1.0/float64(k))
+}
+
+// NetHierarchyProb returns the per-level survival probability
+// ((10/ε)·ln n)^{-1/k} used when running Thorup–Zwick over an ε-density
+// net (Lemma 4.5 replaces n^{-1/k} with this, because the ground set is
+// the net of expected size ≤ (10/ε)·ln n).
+func NetHierarchyProb(n int, eps float64, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	size := 10 / eps * math.Log(float64(n))
+	if size < 2 {
+		size = 2
+	}
+	return math.Pow(size, -1.0/float64(k))
+}
+
+// NetProb returns the density-net sampling probability min(1, 5·ln(n)/(εn))
+// from Lemma 4.2.
+func NetProb(n int, eps float64) float64 {
+	p := 5 * math.Log(float64(n)) / (eps * float64(n))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// InDensityNet reports whether node id joins the ε-density net (Lemma 4.2:
+// independent coin with probability NetProb). salt distinguishes multiple
+// nets built from the same master seed (the gracefully degrading sketch
+// builds one net per ε).
+func InDensityNet(seed, salt uint64, id, n int, eps float64) bool {
+	return NodeRNG(seed, salt, id).Float64() < NetProb(n, eps)
+}
+
+// DensityNet returns the sorted member list of the ε-density net.
+func DensityNet(n int, eps float64, seed, salt uint64) []int {
+	var net []int
+	for u := 0; u < n; u++ {
+		if InDensityNet(seed, salt, u, n, eps) {
+			net = append(net, u)
+		}
+	}
+	return net
+}
+
+// Pivot is p_i(u) together with d(u, p_i(u)) = d(u, A_i). A level whose
+// A_i is empty (possible for aggressive sampling) has Node = -1, Dist = Inf.
+type Pivot struct {
+	Node int
+	Dist graph.Dist
+}
+
+// BunchEntry is one bunch member: its distance from the label owner and
+// its top level in the hierarchy.
+type BunchEntry struct {
+	Dist  graph.Dist
+	Level int
+}
+
+// TZLabel is the Thorup–Zwick label L(u) of §3.1: the pivots p_0..p_{k-1}
+// with their distances, and the bunch B(u) with distances.
+type TZLabel struct {
+	Owner  int
+	K      int
+	Pivots []Pivot            // length K; Pivots[0] = {Owner, 0} when A_0 = V
+	Bunch  map[int]BunchEntry // node -> entry
+}
+
+// NewTZLabel allocates an empty label for owner with k levels.
+func NewTZLabel(owner, k int) *TZLabel {
+	l := &TZLabel{Owner: owner, K: k, Pivots: make([]Pivot, k), Bunch: make(map[int]BunchEntry)}
+	for i := range l.Pivots {
+		l.Pivots[i] = Pivot{Node: -1, Dist: graph.Inf}
+	}
+	return l
+}
+
+// SizeWords returns the label size in O(log n)-bit words: two words per
+// pivot (ID, distance) and three per bunch entry (ID, distance, level).
+// This is the quantity bounded by Lemma 3.1 / Theorem 3.8.
+func (l *TZLabel) SizeWords() int {
+	return 2*len(l.Pivots) + 3*len(l.Bunch)
+}
+
+// DistTo returns the bunch distance to node w, or (Inf, false).
+func (l *TZLabel) DistTo(w int) (graph.Dist, bool) {
+	if w == l.Owner {
+		return 0, true
+	}
+	if e, ok := l.Bunch[w]; ok {
+		return e.Dist, true
+	}
+	return graph.Inf, false
+}
+
+// BunchNodes returns the sorted bunch member IDs (for deterministic
+// iteration in tests and serialization).
+func (l *TZLabel) BunchNodes() []int {
+	ids := make([]int, 0, len(l.Bunch))
+	for w := range l.Bunch {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Validate checks structural invariants of a label (used by tests).
+func (l *TZLabel) Validate() error {
+	if len(l.Pivots) != l.K {
+		return fmt.Errorf("sketch: %d pivots for k=%d", len(l.Pivots), l.K)
+	}
+	prev := graph.Dist(0)
+	for i, p := range l.Pivots {
+		if (p.Node < 0) != (p.Dist == graph.Inf) {
+			return fmt.Errorf("sketch: pivot %d inconsistent: %+v", i, p)
+		}
+		if p.Dist < prev {
+			return fmt.Errorf("sketch: pivot distances not monotone at level %d", i)
+		}
+		prev = p.Dist
+	}
+	for w, e := range l.Bunch {
+		if e.Level < 0 || e.Level >= l.K {
+			return fmt.Errorf("sketch: bunch node %d has level %d outside [0,%d)", w, e.Level, l.K)
+		}
+		if e.Dist < 0 || e.Dist == graph.Inf {
+			return fmt.Errorf("sketch: bunch node %d has bad distance %d", w, e.Dist)
+		}
+		// Bunch membership requires d(u,w) < d(u, A_{level+1}).
+		if e.Level+1 < l.K && e.Dist >= l.Pivots[e.Level+1].Dist {
+			return fmt.Errorf("sketch: bunch node %d at dist %d not < d(u,A_%d)=%d",
+				w, e.Dist, e.Level+1, l.Pivots[e.Level+1].Dist)
+		}
+	}
+	return nil
+}
+
+// QueryTZ implements the distance estimation of Lemma 3.2: walk the levels
+// upward and return the first pivot-through estimate whose pivot lies in
+// the other label's bunch. The returned estimate d' satisfies
+// d(u,v) ≤ d' ≤ (2k-1)·d(u,v).
+//
+// Membership is checked against the whole bunch B(v) rather than the
+// per-level B_i(v); this is the original Thorup–Zwick formulation, is
+// never worse, and keeps the same stretch proof (non-membership in B(v)
+// implies non-membership in B_i(v), which is all the induction uses).
+func QueryTZ(a, b *TZLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	k := a.K
+	if b.K < k {
+		k = b.K
+	}
+	for i := 0; i < k; i++ {
+		if p := a.Pivots[i]; p.Node >= 0 {
+			if d, ok := b.DistTo(p.Node); ok {
+				return graph.AddDist(p.Dist, d)
+			}
+		}
+		if p := b.Pivots[i]; p.Node >= 0 {
+			if d, ok := a.DistTo(p.Node); ok {
+				return graph.AddDist(p.Dist, d)
+			}
+		}
+	}
+	return graph.Inf
+}
+
+// QueryTZBest returns the best (smallest) pivot-through estimate over all
+// levels and shared bunch members, rather than stopping at the first
+// usable level. Always ≤ QueryTZ; used by the "best effort" query mode.
+func QueryTZBest(a, b *TZLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	best := graph.Inf
+	consider := func(x, y *TZLabel) {
+		for i := 0; i < len(x.Pivots); i++ {
+			p := x.Pivots[i]
+			if p.Node < 0 {
+				continue
+			}
+			if d, ok := y.DistTo(p.Node); ok {
+				if est := graph.AddDist(p.Dist, d); est < best {
+					best = est
+				}
+			}
+		}
+	}
+	consider(a, b)
+	consider(b, a)
+	// Any node in both bunches is a valid relay.
+	small, large := a, b
+	if len(b.Bunch) < len(a.Bunch) {
+		small, large = b, a
+	}
+	for w, e := range small.Bunch {
+		if d, ok := large.DistTo(w); ok {
+			if est := graph.AddDist(e.Dist, d); est < best {
+				best = est
+			}
+		}
+	}
+	return best
+}

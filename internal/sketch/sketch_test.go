@@ -1,0 +1,404 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distsketch/internal/graph"
+)
+
+func TestNodeRNGIndependentStreams(t *testing.T) {
+	a := NodeRNG(1, SaltLevels, 5).Float64()
+	b := NodeRNG(1, SaltNet, 5).Float64()
+	c := NodeRNG(1, SaltLevels, 5).Float64()
+	if a != c {
+		t.Error("same (seed,salt,id) must reproduce")
+	}
+	if a == b {
+		t.Error("different salts should give different streams")
+	}
+	d := NodeRNG(2, SaltLevels, 5).Float64()
+	if a == d {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestTopLevelBounds(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		for id := 0; id < 50; id++ {
+			l := TopLevel(3, id, k, 0.5)
+			if l < 0 || l > k-1 {
+				t.Fatalf("k=%d id=%d: level %d out of range", k, id, l)
+			}
+		}
+	}
+	// p=0: never promoted. p=1: always to the top.
+	for id := 0; id < 10; id++ {
+		if l := TopLevel(3, id, 4, 0); l != 0 {
+			t.Errorf("p=0 gave level %d", l)
+		}
+		if l := TopLevel(3, id, 4, 1); l != 3 {
+			t.Errorf("p=1 gave level %d", l)
+		}
+	}
+}
+
+func TestSampleLevelsDistribution(t *testing.T) {
+	n, k := 4096, 4
+	p := HierarchyProb(n, k) // 4096^{-1/4} = 1/8
+	if math.Abs(p-0.125) > 1e-12 {
+		t.Fatalf("HierarchyProb = %g, want 0.125", p)
+	}
+	levels := SampleLevels(n, k, p, 7)
+	counts := make([]int, k)
+	for _, l := range levels {
+		counts[l]++
+	}
+	// E[level >= 1] = n*p = 512; allow generous slack.
+	atLeast1 := n - counts[0]
+	if atLeast1 < 512/2 || atLeast1 > 512*2 {
+		t.Errorf("|A_1| = %d, expected about 512", atLeast1)
+	}
+}
+
+func TestHierarchyProbK1(t *testing.T) {
+	if HierarchyProb(100, 1) != 0 {
+		t.Error("k=1 must never promote")
+	}
+}
+
+func TestNetProb(t *testing.T) {
+	n := 100
+	if p := NetProb(n, 1e-9); p != 1 {
+		t.Errorf("tiny eps must give p=1, got %g", p)
+	}
+	p := NetProb(n, 0.25)
+	want := 5 * math.Log(100.0) / (0.25 * 100)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("NetProb = %g, want %g", p, want)
+	}
+}
+
+func TestNetHierarchyProb(t *testing.T) {
+	if NetHierarchyProb(100, 0.25, 1) != 0 {
+		t.Error("k=1 must never promote")
+	}
+	p := NetHierarchyProb(100, 0.25, 2)
+	want := math.Pow(10/0.25*math.Log(100), -0.5)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("NetHierarchyProb = %g, want %g", p, want)
+	}
+}
+
+func TestDensityNetDeterministic(t *testing.T) {
+	a := DensityNet(200, 0.25, 9, SaltNet)
+	b := DensityNet(200, 0.25, 9, SaltNet)
+	if len(a) != len(b) {
+		t.Fatal("net not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("net not deterministic")
+		}
+	}
+	if len(a) == 0 {
+		t.Error("net unexpectedly empty")
+	}
+}
+
+// buildTestLabels constructs labels for a 4-node path 0-1-2-3 (unit
+// weights) with k=2, A_1={2}: bunches computed by hand.
+//
+//	d(·,A_1): [2,1,0,1]
+//	B_0(0) = {1} (d=1<2); B_0(1) = {0}? d(1,0)=1 >= d(1,A_1)=1 → no; B_0(1)=∅
+//	B_0(2) = ∅ (d(2,A_1)=0); B_0(3) = ∅ (d(3,2)... level-0 nodes: 0,1,3.
+//	  d(3,1)=2 >= 1 no; so B_0(3)=∅.
+//	B_1(u) = {2} for all u (A_2=∅ so threshold ∞).
+func buildTestLabels(t *testing.T) []*TZLabel {
+	t.Helper()
+	labels := make([]*TZLabel, 4)
+	dA1 := []graph.Dist{2, 1, 0, 1}
+	d2 := []graph.Dist{2, 1, 0, 1}
+	for u := 0; u < 4; u++ {
+		l := NewTZLabel(u, 2)
+		l.Pivots[0] = Pivot{Node: u, Dist: 0}
+		l.Pivots[1] = Pivot{Node: 2, Dist: dA1[u]}
+		if u != 2 {
+			l.Bunch[2] = BunchEntry{Dist: d2[u], Level: 1}
+		}
+		labels[u] = l
+	}
+	labels[0].Bunch[1] = BunchEntry{Dist: 1, Level: 0}
+	return labels
+}
+
+func TestQueryTZHandComputed(t *testing.T) {
+	labels := buildTestLabels(t)
+	for _, l := range labels {
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		u, v int
+		want graph.Dist
+	}{
+		{0, 0, 0},
+		{0, 1, 1}, // p_0(1)=1 ∈ B(0) → 0 + 1
+		{1, 0, 1}, // symmetric
+		{0, 3, 3}, // via pivot 2: d(0,2)+d(2,3) = 2+1
+		{1, 3, 2}, // via 2: 1+1
+		{2, 3, 1}, // p_0(2)=2 ∈ B(3) → 0+1
+		{0, 2, 2},
+	}
+	for _, c := range cases {
+		if got := QueryTZ(labels[c.u], labels[c.v]); got != c.want {
+			t.Errorf("QueryTZ(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestQueryTZBestNotWorse(t *testing.T) {
+	labels := buildTestLabels(t)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			a, b := QueryTZ(labels[u], labels[v]), QueryTZBest(labels[u], labels[v])
+			if b > a {
+				t.Errorf("(%d,%d): best %d > first %d", u, v, b, a)
+			}
+		}
+	}
+}
+
+func TestQueryTZSymmetric(t *testing.T) {
+	labels := buildTestLabels(t)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if QueryTZ(labels[u], labels[v]) != QueryTZ(labels[v], labels[u]) {
+				t.Errorf("asymmetric query (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLabelValidateCatchesCorruption(t *testing.T) {
+	labels := buildTestLabels(t)
+	l := labels[0]
+	l.Bunch[2] = BunchEntry{Dist: 5, Level: 9}
+	if err := l.Validate(); err == nil {
+		t.Error("bad level not caught")
+	}
+	l.Bunch[2] = BunchEntry{Dist: graph.Inf, Level: 1}
+	if err := l.Validate(); err == nil {
+		t.Error("Inf bunch distance not caught")
+	}
+	delete(l.Bunch, 2)
+	l.Bunch[1] = BunchEntry{Dist: 3, Level: 0} // 3 >= d(0,A_1)=2
+	if err := l.Validate(); err == nil {
+		t.Error("bunch threshold violation not caught")
+	}
+}
+
+func TestSizeWords(t *testing.T) {
+	labels := buildTestLabels(t)
+	// Node 0: 2 pivots (4 words) + 2 bunch entries (6 words).
+	if s := labels[0].SizeWords(); s != 10 {
+		t.Errorf("size = %d, want 10", s)
+	}
+	lm := NewLandmarkLabel(0)
+	lm.Dists[3] = 5
+	lm.Dists[7] = 9
+	if s := lm.SizeWords(); s != 4 {
+		t.Errorf("landmark size = %d, want 4", s)
+	}
+}
+
+func TestQueryLandmark(t *testing.T) {
+	a := NewLandmarkLabel(0)
+	b := NewLandmarkLabel(1)
+	a.Dists[10] = 3
+	a.Dists[11] = 1
+	b.Dists[10] = 2
+	b.Dists[11] = 7
+	if got := QueryLandmark(a, b); got != 5 {
+		t.Errorf("QueryLandmark = %d, want 5 (via node 10)", got)
+	}
+	if got := QueryLandmark(a, a); got != 0 {
+		t.Errorf("self query = %d", got)
+	}
+	c := NewLandmarkLabel(2) // no shared landmarks
+	c.Dists[99] = 1
+	if got := QueryLandmark(a, c); got != graph.Inf {
+		t.Errorf("no common landmark should give Inf, got %d", got)
+	}
+}
+
+func TestQueryCDGSameNet(t *testing.T) {
+	a := &CDGLabel{Owner: 0, NetNode: 5, NetDist: 3}
+	b := &CDGLabel{Owner: 1, NetNode: 5, NetDist: 4}
+	if got := QueryCDG(a, b); got != 7 {
+		t.Errorf("same-net query = %d, want 7", got)
+	}
+}
+
+func TestQueryGracefulTakesMin(t *testing.T) {
+	mk := func(owner int, dists ...graph.Dist) *GracefulLabel {
+		g := &GracefulLabel{Owner: owner}
+		for i, d := range dists {
+			g.Levels = append(g.Levels, &CDGLabel{Owner: owner, NetNode: 100 + i, NetDist: d})
+		}
+		return g
+	}
+	a := mk(0, 10, 3, 8)
+	b := mk(1, 5, 4, 1)
+	// Per-level estimates: 15, 7, 9 → min 7.
+	if got := QueryGraceful(a, b); got != 7 {
+		t.Errorf("graceful = %d, want 7", got)
+	}
+	if got := QueryGraceful(a, a); got != 0 {
+		t.Errorf("self = %d", got)
+	}
+}
+
+func TestGracefulLevels(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1000: 10}
+	for n, want := range cases {
+		if got := GracefulLevels(n); got != want {
+			t.Errorf("GracefulLevels(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMarshalTZRoundTrip(t *testing.T) {
+	for _, l := range buildTestLabels(t) {
+		data := MarshalTZ(l)
+		got, err := UnmarshalTZ(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Owner != l.Owner || got.K != l.K {
+			t.Fatalf("header mismatch: %+v vs %+v", got, l)
+		}
+		for i := range l.Pivots {
+			if got.Pivots[i] != l.Pivots[i] {
+				t.Fatalf("pivot %d mismatch", i)
+			}
+		}
+		if len(got.Bunch) != len(l.Bunch) {
+			t.Fatalf("bunch size mismatch")
+		}
+		for w, e := range l.Bunch {
+			if got.Bunch[w] != e {
+				t.Fatalf("bunch[%d] mismatch", w)
+			}
+		}
+	}
+}
+
+func TestMarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalTZ([]byte{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := UnmarshalTZ([]byte{99, 1, 2, 3}); err == nil {
+		t.Error("bad tag accepted")
+	}
+	good := MarshalTZ(buildTestLabels(t)[0])
+	if _, err := UnmarshalTZ(good[:len(good)-1]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, err := UnmarshalTZ(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestMarshalLandmarkRoundTrip(t *testing.T) {
+	l := NewLandmarkLabel(42)
+	l.Dists[3] = 17
+	l.Dists[900] = 2
+	got, err := UnmarshalLandmark(MarshalLandmark(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != 42 || len(got.Dists) != 2 || got.Dists[3] != 17 || got.Dists[900] != 2 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestMarshalCDGRoundTrip(t *testing.T) {
+	inner := buildTestLabels(t)[1]
+	l := &CDGLabel{Owner: 7, Eps: 0.125, NetNode: 2, NetDist: 11, NetLabel: inner}
+	got, err := UnmarshalCDG(MarshalCDG(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != 7 || got.Eps != 0.125 || got.NetNode != 2 || got.NetDist != 11 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.NetLabel == nil || got.NetLabel.Owner != inner.Owner {
+		t.Error("nested label mismatch")
+	}
+	// Nil nested label also round-trips.
+	l2 := &CDGLabel{Owner: 1, Eps: 0.5, NetNode: 3, NetDist: graph.Inf}
+	got2, err := UnmarshalCDG(MarshalCDG(l2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NetLabel != nil || got2.NetDist != graph.Inf {
+		t.Errorf("nil-label round trip mismatch: %+v", got2)
+	}
+}
+
+func TestMarshalGracefulRoundTrip(t *testing.T) {
+	l := &GracefulLabel{Owner: 3}
+	l.Levels = append(l.Levels,
+		&CDGLabel{Owner: 3, Eps: 0.5, NetNode: 1, NetDist: 2, NetLabel: buildTestLabels(t)[0]},
+		&CDGLabel{Owner: 3, Eps: 0.25, NetNode: 2, NetDist: 0},
+	)
+	got, err := UnmarshalGraceful(MarshalGraceful(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != 3 || len(got.Levels) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Levels[0].NetLabel == nil || got.Levels[1].NetLabel != nil {
+		t.Error("nested labels mismatched")
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialization round-trips arbitrary well-formed labels.
+func TestMarshalTZProperty(t *testing.T) {
+	f := func(owner uint8, k uint8, entries []uint16) bool {
+		kk := int(k%5) + 1
+		l := NewTZLabel(int(owner), kk)
+		for i := 0; i < kk; i++ {
+			l.Pivots[i] = Pivot{Node: int(owner) + i, Dist: graph.Dist(i * 10)}
+		}
+		for i, e := range entries {
+			if i >= 20 {
+				break
+			}
+			l.Bunch[int(e)] = BunchEntry{Dist: graph.Dist(e), Level: i % kk}
+		}
+		got, err := UnmarshalTZ(MarshalTZ(l))
+		if err != nil {
+			return false
+		}
+		if got.Owner != l.Owner || len(got.Bunch) != len(l.Bunch) {
+			return false
+		}
+		for w, e := range l.Bunch {
+			if got.Bunch[w] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

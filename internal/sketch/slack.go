@@ -1,0 +1,165 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distsketch/internal/graph"
+)
+
+// Slack sketch types from Section 4 of the paper.
+
+// LandmarkLabel is the stretch-3 ε-slack sketch of Theorem 4.3: the node's
+// distance to every member of an ε-density net N.
+type LandmarkLabel struct {
+	Owner int
+	Dists map[int]graph.Dist // net node -> d(owner, net node)
+}
+
+// NewLandmarkLabel allocates an empty landmark label.
+func NewLandmarkLabel(owner int) *LandmarkLabel {
+	return &LandmarkLabel{Owner: owner, Dists: make(map[int]graph.Dist)}
+}
+
+// SizeWords counts two words (ID, distance) per net node.
+func (l *LandmarkLabel) SizeWords() int { return 2 * len(l.Dists) }
+
+// NetNodes returns the sorted net member IDs stored in the label.
+func (l *LandmarkLabel) NetNodes() []int {
+	ids := make([]int, 0, len(l.Dists))
+	for w := range l.Dists {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// QueryLandmark estimates d(u,v) as min over net nodes w of
+// d(u,w) + d(w,v) (Theorem 4.3). For pairs where v is ε-far from u the
+// estimate is between d(u,v) and 3·d(u,v).
+func QueryLandmark(a, b *LandmarkLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	best := graph.Inf
+	small, large := a, b
+	if len(b.Dists) < len(a.Dists) {
+		small, large = b, a
+	}
+	for w, dw := range small.Dists {
+		if dv, ok := large.Dists[w]; ok {
+			if est := graph.AddDist(dw, dv); est < best {
+				best = est
+			}
+		}
+	}
+	return best
+}
+
+// CDGLabel is the (ε,k)-CDG sketch of Section 4 / Lemma 4.4: the identity
+// of the nearest density-net node u', the distance d(u,u'), and the
+// Thorup–Zwick label of u' with respect to a hierarchy sampled on the net.
+type CDGLabel struct {
+	Owner    int
+	Eps      float64
+	NetNode  int        // u' = nearest net node (tie -> smaller ID)
+	NetDist  graph.Dist // d(u, u')
+	NetLabel *TZLabel   // TZ label of u' over the net hierarchy
+}
+
+// SizeWords counts the net pointer (2 words) plus the carried TZ label.
+func (l *CDGLabel) SizeWords() int {
+	if l.NetLabel == nil {
+		return 2
+	}
+	return 2 + l.NetLabel.SizeWords()
+}
+
+// QueryCDG estimates d(u,v) as d(u,u') + d”(u',v') + d(v',v), where d”
+// is the TZ estimate between the two net nodes (Section 4). For pairs
+// where v is ε-far from u the estimate is within a factor 8k-1.
+func QueryCDG(a, b *CDGLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	if a.NetNode == b.NetNode {
+		// Same nearest net node: estimate through it directly.
+		return graph.AddDist(a.NetDist, b.NetDist)
+	}
+	mid := QueryTZ(a.NetLabel, b.NetLabel)
+	return graph.AddDist(a.NetDist, graph.AddDist(mid, b.NetDist))
+}
+
+// GracefulLabel is the gracefully degrading sketch of Theorem 4.8: one
+// (ε_i, k_i)-CDG sketch for every ε_i = 2^{-i}, i = 1..⌈log₂ n⌉. The
+// query takes the minimum over the per-ε estimates, which yields stretch
+// O(log 1/ε) simultaneously for every ε, hence O(log n) worst-case and
+// O(1) average stretch (Lemma 4.7, Corollary 4.9).
+type GracefulLabel struct {
+	Owner  int
+	Levels []*CDGLabel // Levels[i] built with ε = 2^{-(i+1)}
+}
+
+// GracefulLevels returns ⌈log₂ n⌉, the number of slack levels a gracefully
+// degrading sketch uses for an n-node network.
+func GracefulLevels(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// GracefulK returns k_i for slack level i (1-based): k_i = i, matching the
+// paper's choice k = O(log 1/ε_i) with ε_i = 2^{-i}. The stretch at level
+// i is then 8i-1 = O(log 1/ε_i).
+func GracefulK(i int) int { return i }
+
+// SizeWords sums the component sketch sizes.
+func (l *GracefulLabel) SizeWords() int {
+	s := 0
+	for _, c := range l.Levels {
+		s += c.SizeWords()
+	}
+	return s
+}
+
+// QueryGraceful returns the minimum estimate over all slack levels. All
+// component estimates are ≥ d(u,v), so the minimum is too.
+func QueryGraceful(a, b *GracefulLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	best := graph.Inf
+	n := len(a.Levels)
+	if len(b.Levels) < n {
+		n = len(b.Levels)
+	}
+	for i := 0; i < n; i++ {
+		if a.Levels[i] == nil || b.Levels[i] == nil {
+			continue
+		}
+		if est := QueryCDG(a.Levels[i], b.Levels[i]); est < best {
+			best = est
+		}
+	}
+	return best
+}
+
+// Validate checks structural invariants of a graceful label.
+func (l *GracefulLabel) Validate() error {
+	for i, c := range l.Levels {
+		if c == nil {
+			return fmt.Errorf("sketch: graceful level %d missing", i+1)
+		}
+		if c.Owner != l.Owner {
+			return fmt.Errorf("sketch: graceful level %d owner %d != %d", i+1, c.Owner, l.Owner)
+		}
+		if c.NetLabel != nil {
+			if err := c.NetLabel.Validate(); err != nil {
+				return fmt.Errorf("sketch: graceful level %d: %w", i+1, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package tz
+
+import (
+	"fmt"
+
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// Centralized reference constructions for the Section 4 sketches. These
+// mirror the distributed algorithms of internal/core exactly (same coin
+// streams, same tie-breaking) and serve as their ground truth.
+
+// NetSalts returns the coin-stream salts for the instance'th density net
+// and its hierarchy. Instance 0 is the standalone (ε,k)-CDG sketch; the
+// gracefully degrading sketch uses instances 1..⌈log n⌉ (one per ε_i).
+func NetSalts(instance int) (netSalt, tzSalt uint64) {
+	step := uint64(instance) * 0x9e3779b97f4a7c15
+	return sketch.SaltNet + step, sketch.SaltNetTZ + step
+}
+
+// BuildLandmark constructs the stretch-3 ε-slack landmark sketches of
+// Theorem 4.3: every node stores its distance to every member of an
+// ε-density net. Returns the labels and the net.
+func BuildLandmark(g *graph.Graph, eps float64, seed uint64, instance int) ([]*sketch.LandmarkLabel, []int, error) {
+	n := g.N()
+	netSalt, _ := NetSalts(instance)
+	net := sketch.DensityNet(n, eps, seed, netSalt)
+	if len(net) == 0 {
+		return nil, nil, fmt.Errorf("tz: empty density net (n=%d, eps=%g, seed=%d)", n, eps, seed)
+	}
+	labels := make([]*sketch.LandmarkLabel, n)
+	for u := 0; u < n; u++ {
+		labels[u] = sketch.NewLandmarkLabel(u)
+	}
+	for _, w := range net {
+		r := graph.Dijkstra(g, w)
+		for u := 0; u < n; u++ {
+			if r.Dist[u] != graph.Inf {
+				labels[u].Dists[w] = r.Dist[u]
+			}
+		}
+	}
+	return labels, net, nil
+}
+
+// BuildCDG constructs the (ε,k)-CDG sketches of Section 4: sample an
+// ε-density net, run Thorup–Zwick over the net (sampling probability
+// ((10/ε)·ln n)^{-1/k}; Lemma 4.5), and give every node the identity of,
+// distance to, and TZ label of its nearest net node.
+func BuildCDG(g *graph.Graph, eps float64, k int, seed uint64, instance int) ([]*sketch.CDGLabel, *Oracle, error) {
+	n := g.N()
+	if k < 1 {
+		return nil, nil, fmt.Errorf("tz: k must be >= 1, got %d", k)
+	}
+	netSalt, tzSalt := NetSalts(instance)
+	net := sketch.DensityNet(n, eps, seed, netSalt)
+	if len(net) == 0 {
+		return nil, nil, fmt.Errorf("tz: empty density net (n=%d, eps=%g, seed=%d)", n, eps, seed)
+	}
+	q := sketch.NetHierarchyProb(n, eps, k)
+	levels := make([]int, n)
+	for u := 0; u < n; u++ {
+		levels[u] = -1
+	}
+	for _, w := range net {
+		levels[w] = sketch.TopLevelFromRNG(sketch.NodeRNG(seed, tzSalt, w), k, q)
+	}
+	oracle, err := BuildHierarchy(g, k, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	dist, nearest := graph.MultiSourceDijkstra(g, net)
+	labels := make([]*sketch.CDGLabel, n)
+	for u := 0; u < n; u++ {
+		labels[u] = &sketch.CDGLabel{
+			Owner:    u,
+			Eps:      eps,
+			NetNode:  nearest[u],
+			NetDist:  dist[u],
+			NetLabel: oracle.Labels[nearest[u]],
+		}
+	}
+	return labels, oracle, nil
+}
+
+// BuildGraceful constructs the gracefully degrading sketches of Theorem
+// 4.8: one (ε_i, k_i)-CDG sketch per ε_i = 2^{-i}, k_i = i, for
+// i = 1..⌈log₂ n⌉.
+func BuildGraceful(g *graph.Graph, seed uint64) ([]*sketch.GracefulLabel, error) {
+	n := g.N()
+	levels := sketch.GracefulLevels(n)
+	labels := make([]*sketch.GracefulLabel, n)
+	for u := 0; u < n; u++ {
+		labels[u] = &sketch.GracefulLabel{Owner: u}
+	}
+	for i := 1; i <= levels; i++ {
+		eps := 1.0 / float64(int64(1)<<uint(i))
+		cdg, _, err := BuildCDG(g, eps, sketch.GracefulK(i), seed, i)
+		if err != nil {
+			return nil, fmt.Errorf("tz: graceful level %d: %w", i, err)
+		}
+		for u := 0; u < n; u++ {
+			labels[u].Levels = append(labels[u].Levels, cdg[u])
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,248 @@
+// Package tz implements the centralized Thorup–Zwick distance oracle
+// ([TZ05], as summarized in Section 3.1 of the paper). It serves three
+// roles in this repository:
+//
+//  1. Ground truth: the distributed construction of internal/core must
+//     produce *identical* labels when run with the same coin flips
+//     (experiment E12).
+//  2. Baseline: the centralized oracle is the comparison point the paper
+//     improves on in the distributed setting.
+//  3. Building block: the (ε,k)-CDG sketches apply the same construction
+//     to a density net (a subset hierarchy), which this package supports
+//     directly through BuildHierarchy with levels[u] = -1 for non-members.
+package tz
+
+import (
+	"container/heap"
+	"fmt"
+
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// Oracle is a built distance oracle: one label per node plus the hierarchy
+// used to build them.
+type Oracle struct {
+	G      *graph.Graph
+	K      int
+	Levels []int // topLevel per node; -1 = not in A_0 (subset hierarchies)
+	// PivotDist[i][u] = d(u, A_i) for 0 <= i <= K (PivotDist[K] = Inf).
+	PivotDist [][]graph.Dist
+	Labels    []*sketch.TZLabel
+}
+
+// Build samples the standard hierarchy (A_0 = V, survival probability
+// n^{-1/k}; §3.1) using the shared per-node coin streams and constructs
+// all labels.
+func Build(g *graph.Graph, k int, seed uint64) (*Oracle, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tz: k must be >= 1, got %d", k)
+	}
+	levels := sketch.SampleLevels(g.N(), k, sketch.HierarchyProb(g.N(), k), seed)
+	return BuildHierarchy(g, k, levels)
+}
+
+// BuildHierarchy constructs labels for an explicit hierarchy. levels[u] is
+// node u's top level (the largest i with u ∈ A_i), or -1 if u is not even
+// in A_0 (used when the hierarchy lives on a density net). Labels are
+// built for every node of the graph regardless.
+func BuildHierarchy(g *graph.Graph, k int, levels []int) (*Oracle, error) {
+	n := g.N()
+	if len(levels) != n {
+		return nil, fmt.Errorf("tz: %d levels for n=%d", len(levels), n)
+	}
+	for u, l := range levels {
+		if l < -1 || l >= k {
+			return nil, fmt.Errorf("tz: node %d has level %d outside [-1,%d)", u, l, k)
+		}
+	}
+	o := &Oracle{G: g, K: k, Levels: levels}
+
+	// d(u, A_i) for every level, via one multi-source Dijkstra per level.
+	o.PivotDist = make([][]graph.Dist, k+1)
+	for i := 0; i <= k; i++ {
+		o.PivotDist[i] = make([]graph.Dist, n)
+	}
+	for u := 0; u < n; u++ {
+		o.PivotDist[k][u] = graph.Inf // A_k = ∅, d(u, A_k) = ∞ (§3.1)
+	}
+	for i := 0; i < k; i++ {
+		var ai []int
+		for u := 0; u < n; u++ {
+			if levels[u] >= i {
+				ai = append(ai, u)
+			}
+		}
+		if len(ai) == 0 {
+			for u := 0; u < n; u++ {
+				o.PivotDist[i][u] = graph.Inf
+			}
+			continue
+		}
+		dist, _ := graph.MultiSourceDijkstra(g, ai)
+		o.PivotDist[i] = dist
+	}
+
+	// Clusters: for every hierarchy member w with top level l, grow the
+	// truncated Dijkstra ball C(w) = {u : d(u,w) < d(u, A_{l+1})} and
+	// record w (with distance) in the bunch of every u ∈ C(w). The
+	// truncation is sound because every vertex on a shortest path from w
+	// to a cluster member is itself in the cluster (§3.2).
+	o.Labels = make([]*sketch.TZLabel, n)
+	for u := 0; u < n; u++ {
+		o.Labels[u] = sketch.NewTZLabel(u, k)
+	}
+	for w := 0; w < n; w++ {
+		l := levels[w]
+		if l < 0 {
+			continue
+		}
+		o.growCluster(w, l)
+	}
+
+	// Pivot chain (bottom-up over levels, per node): p_i(u) is the
+	// (dist, ID)-lexicographic minimum among u itself (if u ∈ A_i), the
+	// level-i bunch members, and p_{i+1}(u). Computing pivots this way —
+	// rather than from the multi-source Dijkstra — matches exactly what
+	// a distributed node can compute locally from its phase results
+	// (DESIGN.md §5.5/5.6), while yielding the same distances d(u, A_i).
+	for u := 0; u < n; u++ {
+		lab := o.Labels[u]
+		byLevel := make([][2]int64, k) // (dist, id) lexmin per level; id -1 = none
+		for i := range byLevel {
+			byLevel[i] = [2]int64{int64(graph.Inf), -1}
+		}
+		for w, e := range lab.Bunch {
+			c := [2]int64{int64(e.Dist), int64(w)}
+			if lexLess(c, byLevel[e.Level]) {
+				byLevel[e.Level] = c
+			}
+		}
+		best := [2]int64{int64(graph.Inf), -1}
+		for i := k - 1; i >= 0; i-- {
+			if lexLess(byLevel[i], best) {
+				best = byLevel[i]
+			}
+			if levels[u] >= i {
+				self := [2]int64{0, int64(u)}
+				if lexLess(self, best) {
+					best = self
+				}
+			}
+			lab.Pivots[i] = sketch.Pivot{Node: int(best[1]), Dist: graph.Dist(best[0])}
+		}
+	}
+	return o, nil
+}
+
+// lexLess compares (dist, id) pairs; an id of -1 means "no candidate" and
+// loses to any real candidate at the same distance.
+func lexLess(a, b [2]int64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] == -1 {
+		return false
+	}
+	if b[1] == -1 {
+		return true
+	}
+	return a[1] < b[1]
+}
+
+// growCluster runs the truncated Dijkstra from w (top level l) and adds w
+// to the bunch of every member of C(w) except w itself.
+func (o *Oracle) growCluster(w, l int) {
+	g := o.G
+	thresh := o.PivotDist[l+1]
+	dist := map[int]graph.Dist{w: 0}
+	h := &clusterHeap{{node: w, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(clusterItem)
+		u := it.node
+		if d, ok := dist[u]; !ok || it.dist > d {
+			continue // stale entry
+		}
+		if it.dist >= thresh[u] {
+			continue // u ∉ C(w): do not expand through it
+		}
+		if u != w {
+			o.Labels[u].Bunch[w] = sketch.BunchEntry{Dist: it.dist, Level: l}
+		}
+		for _, a := range g.Adj(u) {
+			nd := graph.AddDist(it.dist, a.Weight)
+			v := a.To
+			if nd >= thresh[v] {
+				continue
+			}
+			if d, ok := dist[v]; !ok || nd < d {
+				dist[v] = nd
+				heap.Push(h, clusterItem{node: v, dist: nd})
+			}
+		}
+	}
+}
+
+type clusterItem struct {
+	node int
+	dist graph.Dist
+}
+
+type clusterHeap []clusterItem
+
+func (h clusterHeap) Len() int { return len(h) }
+func (h clusterHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h clusterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *clusterHeap) Push(x any)   { *h = append(*h, x.(clusterItem)) }
+func (h *clusterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Query returns the stretch-(2k-1) estimate between u and v (Lemma 3.2).
+func (o *Oracle) Query(u, v int) graph.Dist {
+	return sketch.QueryTZ(o.Labels[u], o.Labels[v])
+}
+
+// Label returns node u's label.
+func (o *Oracle) Label(u int) *sketch.TZLabel { return o.Labels[u] }
+
+// MaxLabelWords returns the maximum label size over all nodes, in words.
+func (o *Oracle) MaxLabelWords() int {
+	m := 0
+	for _, l := range o.Labels {
+		if s := l.SizeWords(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// MeanLabelWords returns the average label size in words.
+func (o *Oracle) MeanLabelWords() float64 {
+	total := 0
+	for _, l := range o.Labels {
+		total += l.SizeWords()
+	}
+	return float64(total) / float64(len(o.Labels))
+}
+
+// Clusters inverts the bunches: Clusters()[w] is C(w), the set of nodes u
+// with w ∈ B(u). Used by the bunch/cluster duality tests.
+func (o *Oracle) Clusters() map[int][]int {
+	out := make(map[int][]int)
+	for u, lab := range o.Labels {
+		for w := range lab.Bunch {
+			out[w] = append(out[w], u)
+		}
+	}
+	return out
+}

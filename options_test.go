@@ -1,0 +1,78 @@
+package distsketch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBandwidthBatchOption(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyER, 64, 1, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(g, Options{Kind: KindTZ, K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Build(g, Options{Kind: KindTZ, K: 3, Seed: 3, BandwidthBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Rounds() > base.Rounds() {
+		t.Errorf("batched rounds %d > unbatched %d", fast.Rounds(), base.Rounds())
+	}
+	for u := 0; u < 64; u += 9 {
+		for v := 0; v < 64; v += 7 {
+			if base.Query(u, v) != fast.Query(u, v) {
+				t.Fatalf("(%d,%d): batched query differs", u, v)
+			}
+		}
+	}
+}
+
+func TestMaxDelayOption(t *testing.T) {
+	g, err := NewRandomGraph(FamilyGrid, 36, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Build(g, Options{Kind: KindTZ, K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := Build(g, Options{Kind: KindTZ, K: 2, Seed: 4, MaxDelay: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Rounds() <= sync.Rounds() {
+		t.Errorf("async rounds %d should exceed sync %d", async.Rounds(), sync.Rounds())
+	}
+	for u := 0; u < g.N(); u += 5 {
+		for v := 0; v < g.N(); v += 3 {
+			if sync.Query(u, v) != async.Query(u, v) {
+				t.Fatalf("(%d,%d): async query differs", u, v)
+			}
+		}
+	}
+}
+
+func TestGraphIOFacade(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyTree, 20, 1, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "p 20 19\n") {
+		t.Errorf("unexpected header: %q", buf.String()[:12])
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 20 || got.M() != 19 {
+		t.Errorf("round trip: n=%d m=%d", got.N(), got.M())
+	}
+}

@@ -1,0 +1,76 @@
+package distsketch
+
+import (
+	"fmt"
+	"testing"
+
+	"distsketch/internal/eval"
+	"distsketch/internal/graph"
+)
+
+// TestScale1024 exercises the full pipeline at twice the benchmark scale
+// (n=1024) as a guard against superlinear blowups hiding below the usual
+// test sizes. Skipped in -short mode.
+func TestScale1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	g, err := NewRandomWeightedGraph(FamilyER, 1024, 1, 100, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, Options{Kind: KindTZ, K: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check stretch on sampled pairs against exact single-source
+	// distances (full APSP at n=1024 is avoidable).
+	pairs := eval.SamplePairs(g.N(), 400, 1)
+	bySrc := map[int][]graph.Dist{}
+	viol, over := 0, 0
+	for _, p := range pairs {
+		d, ok := bySrc[p.U]
+		if !ok {
+			d = graph.Dijkstra(g, p.U).Dist
+			bySrc[p.U] = d
+		}
+		true_ := d[p.V]
+		if true_ == 0 || true_ == graph.Inf {
+			continue
+		}
+		est := res.Query(p.U, p.V)
+		if est < true_ {
+			viol++
+		}
+		if est > 5*true_ {
+			over++
+		}
+	}
+	if viol > 0 || over > 0 {
+		t.Errorf("n=1024: %d violations, %d beyond 2k-1=5", viol, over)
+	}
+	if res.Rounds() <= 0 || res.MaxSketchWords() <= 0 {
+		t.Errorf("degenerate result at scale: rounds=%d words=%d", res.Rounds(), res.MaxSketchWords())
+	}
+	t.Logf("n=1024: %d rounds, %d messages, max sketch %d words",
+		res.Rounds(), res.Messages(), res.MaxSketchWords())
+}
+
+func ExampleEstimate() {
+	g, err := NewRandomGraph(FamilyRing, 6, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := Build(g, Options{Kind: KindTZ, K: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// Two nodes exchange serialized sketches and estimate their distance
+	// offline — no further communication needed.
+	est, err := Estimate(res.SketchBytes(0), res.SketchBytes(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(est)
+	// Output: 3
+}
