@@ -6,21 +6,46 @@
 //	sketchbench                 # all experiments, quick scale
 //	sketchbench -scale full     # the EXPERIMENTS.md configuration
 //	sketchbench -exp E6,E10     # a subset
+//	sketchbench -json bench.json # also emit per-run wall-clock JSON
+//
+// The -json report exists so successive PRs can track the performance
+// trajectory: commit the output as BENCH_<rev>.json and diff the
+// per-experiment seconds across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"distsketch/internal/experiments"
 )
 
+// benchReport is the -json output schema.
+type benchReport struct {
+	Scale        string     `json:"scale"`
+	GoVersion    string     `json:"go_version"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	Experiments  []benchRun `json:"experiments"`
+	TotalSeconds float64    `json:"total_seconds"`
+	OK           bool       `json:"ok"`
+}
+
+// benchRun is one experiment's wall-clock measurement.
+type benchRun struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick | full")
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+	jsonPath := flag.String("json", "", "write per-run wall-clock JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -34,12 +59,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
-	run := func(tab *experiments.Table, took time.Duration) {
+	report := benchReport{
+		Scale:      *scale,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OK:         true,
+	}
+	run := func(name string, tab *experiments.Table, took time.Duration) {
 		fmt.Println(tab.String())
 		fmt.Printf("(%s)\n\n", took.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, benchRun{
+			Name: name, Seconds: took.Seconds(), OK: tab.OK(),
+		})
 		if !tab.OK() {
-			failed = true
+			report.OK = false
 		}
 	}
 
@@ -57,13 +90,33 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		run(f(cfg), time.Since(start))
+		run(name, f(cfg), time.Since(start))
 	}
+	report.TotalSeconds = time.Since(total).Seconds()
 	if *exp == "all" {
-		fmt.Printf("total: %s\n", time.Since(total).Round(time.Millisecond))
+		fmt.Printf("total: %s\n", time.Duration(report.TotalSeconds*float64(time.Second)).Round(time.Millisecond))
 	}
-	if failed {
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+	if !report.OK {
 		fmt.Fprintln(os.Stderr, "some paper bounds were violated")
 		os.Exit(1)
 	}
+}
+
+func writeReport(path string, r *benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,0 +1,3 @@
+module distsketch
+
+go 1.22

@@ -77,6 +77,7 @@ func SSSP(g *graph.Graph, src int, cfg congest.Config) (*SSSPResult, error) {
 		nodes[u] = sn[u]
 	}
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, err
 	}
@@ -180,6 +181,7 @@ func KSource(g *graph.Graph, sources []int, cfg congest.Config) (*KSourceResult,
 		nodes[u] = kn[u]
 	}
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, err
 	}

@@ -307,6 +307,7 @@ func Build(g *graph.Graph, root int, cfg congest.Config) (*Tree, error) {
 		nodes[u] = tns[u]
 	}
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, err
 	}

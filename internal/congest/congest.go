@@ -15,16 +15,31 @@
 // for rounds, messages, and words — exactly the quantities the paper's
 // theorems bound.
 //
-// Within a round all nodes execute concurrently on a worker pool; because
-// interaction happens only through the round-boundary message buffers, the
-// execution is deterministic regardless of goroutine schedule.
+// # Scheduling
+//
+// The paper's constructions are wave-based: in a typical round only a thin
+// BFS/Bellman–Ford frontier of nodes is active. The engine therefore runs
+// an event-driven active-set scheduler: it maintains an explicit list of
+// nodes that have a delivery or a wake request pending, visits only those
+// nodes in step, harvests outgoing messages only from nodes that ran, and
+// answers Quiescent from O(1) counters. Per-round cost is proportional to
+// the activity of the round, not to n. The legacy O(n)-per-round loop is
+// retained behind Config.FullScan as the baseline for the scheduler
+// benchmarks and the equivalence tests; both produce bit-identical
+// executions.
+//
+// Within a round all active nodes execute concurrently on a persistent
+// worker pool; because interaction happens only through the round-boundary
+// message buffers, the execution is deterministic regardless of goroutine
+// schedule.
 package congest
 
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"slices"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"distsketch/internal/graph"
@@ -80,6 +95,12 @@ type Config struct {
 	// Trace records a per-round time series of sent messages/words
 	// (Engine.Trace), used to regenerate wave-profile figures.
 	Trace bool
+	// FullScan selects the legacy O(n)-per-round round loop (scan every
+	// node every round) instead of the event-driven active-set scheduler.
+	// It exists as the baseline for the scheduler benchmarks and the
+	// equivalence tests; executions are bit-identical, only slower when
+	// the active frontier is much smaller than n.
+	FullScan bool
 }
 
 // RoundStat is one point of the per-round traffic time series.
@@ -125,6 +146,29 @@ type Engine struct {
 	inboxes [][]Incoming // current round's deliveries, indexed by node
 	scratch [][]Incoming // next round's buffers (reused)
 
+	// Active-set scheduler state. pending holds the nodes scheduled for
+	// the next step (receivers of in-flight messages plus wake requests);
+	// step swaps it into active, sorts, and runs only those nodes.
+	// inboxStamp[u] is the round for which inboxes[u]'s content is valid
+	// (buffers are truncated lazily, so stale content may linger in a
+	// slice that the stamp marks dead). wakeCount counts non-crashed
+	// nodes with a pending wake, making Quiescent O(1).
+	active     []int
+	pending    []int
+	pendingIn  []bool
+	inboxStamp []int
+	// wakeCount is a separate allocation shared with every Context. A
+	// Context must NOT point back at the Engine (directly or into its
+	// allocation): Engine→ctxs→Engine would be a cycle through the
+	// finalized object, and Go never runs finalizers on such cycles — the
+	// worker-pool cleanup for dropped engines would silently leak.
+	wakeCount *atomic.Int64
+
+	// pool is a separate allocation, NOT an inline field: its parked
+	// workers hold a *workerPool, and if that pointed into the Engine the
+	// engine could never be collected (and its cleanup never run).
+	pool *workerPool
+
 	stats     Stats
 	initDone  bool
 	delivered int64 // messages delivered in the most recent round
@@ -154,13 +198,17 @@ func NewEngine(g *graph.Graph, nodes []Node, cfg Config) *Engine {
 		cfg.MaxRounds = defaultMaxRounds
 	}
 	e := &Engine{
-		g:       g,
-		cfg:     cfg,
-		nodes:   nodes,
-		ctxs:    make([]*Context, g.N()),
-		inboxes: make([][]Incoming, g.N()),
-		scratch: make([][]Incoming, g.N()),
-		async:   cfg.MaxDelay > 1,
+		g:          g,
+		cfg:        cfg,
+		nodes:      nodes,
+		ctxs:       make([]*Context, g.N()),
+		inboxes:    make([][]Incoming, g.N()),
+		scratch:    make([][]Incoming, g.N()),
+		pendingIn:  make([]bool, g.N()),
+		inboxStamp: make([]int, g.N()),
+		wakeCount:  new(atomic.Int64),
+		pool:       &workerPool{},
+		async:      cfg.MaxDelay > 1,
 	}
 	if e.async {
 		e.delayRNG = rand.New(rand.NewPCG(cfg.Seed^0xA57C, 0xDE1A7))
@@ -174,7 +222,8 @@ func NewEngine(g *graph.Graph, nodes []Node, cfg Config) *Engine {
 			wts[i] = a.Weight
 		}
 		e.ctxs[u] = &Context{
-			engine:    e,
+			maxWords:  cfg.MaxWords,
+			wakeCount: e.wakeCount,
 			id:        u,
 			n:         g.N(),
 			neighbors: nbrs,
@@ -184,7 +233,20 @@ func NewEngine(g *graph.Graph, nodes []Node, cfg Config) *Engine {
 			rng:       rand.New(rand.NewPCG(cfg.Seed, uint64(u)*0x9e3779b97f4a7c15+1)),
 		}
 	}
+	// Safety net for engines that are dropped without Close: the parked
+	// pool workers hold no reference back to the engine, so the engine
+	// becomes collectable and the cleanup releases them.
+	runtime.SetFinalizer(e, func(e *Engine) { e.pool.shutdown() })
 	return e
+}
+
+// Close releases the engine's persistent worker goroutines. It is
+// idempotent; the engine must not be used afterwards. Engines that are
+// simply dropped are cleaned up by the garbage collector, so Close is an
+// optimization for promptness, not a requirement.
+func (e *Engine) Close() {
+	e.pool.shutdown()
+	runtime.SetFinalizer(e, nil)
 }
 
 // Graph returns the underlying topology.
@@ -200,7 +262,11 @@ func (e *Engine) Node(u int) Node { return e.nodes[u] }
 // knowledge, randomness, and the per-round send interface. A Context is
 // only valid inside the Init/Round call it is passed to.
 type Context struct {
-	engine    *Engine
+	// No reference back to the Engine (see Engine.wakeCount): the Context
+	// carries the few engine facts it needs by value or via shared
+	// side allocations.
+	maxWords  int
+	wakeCount *atomic.Int64
 	id        int
 	n         int
 	neighbors []int // sorted neighbor IDs
@@ -256,8 +322,8 @@ func (c *Context) Send(i int, msg Message) {
 	if msg == nil {
 		panic("congest: nil message")
 	}
-	if w := msg.Words(); w > c.engine.cfg.MaxWords {
-		panic(fmt.Sprintf("congest: node %d message of %d words exceeds budget %d", c.id, w, c.engine.cfg.MaxWords))
+	if w := msg.Words(); w > c.maxWords {
+		panic(fmt.Sprintf("congest: node %d message of %d words exceeds budget %d", c.id, w, c.maxWords))
 	}
 	if c.out[i] != nil {
 		panic(fmt.Sprintf("congest: node %d sent twice to neighbor %d in round %d", c.id, c.neighbors[i], c.round))
@@ -285,21 +351,59 @@ func (c *Context) Broadcast(msg Message) {
 // WakeNextRound requests that this node's Round be invoked next round even
 // if it receives no messages. Without a wake request and without incoming
 // messages a node stays asleep (and an all-asleep network is quiescent).
-func (c *Context) WakeNextRound() { c.wake = true }
+// May be called concurrently from different nodes' Round hooks; the shared
+// counter is atomic and the flag is node-owned.
+func (c *Context) WakeNextRound() {
+	if !c.wake {
+		c.wake = true
+		c.wakeCount.Add(1)
+	}
+}
 
 // Wake schedules node u to run in the next round even if it receives no
 // messages. It is the hook used by out-of-band coordinators — e.g. the
 // omniscient phase synchronizer, which models "every node knows the phase
 // length bound" (Section 3.2 of the paper) without in-band signalling.
-func (e *Engine) Wake(u int) { e.ctxs[u].wake = true }
+// Waking a fail-stopped node is a no-op.
+func (e *Engine) Wake(u int) {
+	ctx := e.ctxs[u]
+	if ctx.crashed {
+		return
+	}
+	if !ctx.wake {
+		ctx.wake = true
+		e.wakeCount.Add(1)
+	}
+	e.schedule(u)
+}
+
+// schedule puts u on the next step's active list (idempotent).
+func (e *Engine) schedule(u int) {
+	if !e.pendingIn[u] {
+		e.pendingIn[u] = true
+		e.pending = append(e.pending, u)
+	}
+}
 
 // Crash fail-stops node u: from the next round on it executes nothing,
 // sends nothing, and every message addressed to it is silently dropped.
-// The paper's algorithms are not fault-tolerant (Section 5 leaves the
-// failure-prone setting open); this hook exists so tests can demonstrate
-// *how* they fail — e.g. a mid-phase crash permanently stalls the
-// Section 3.3 COMPLETE convergecast rather than corrupting labels.
-func (e *Engine) Crash(u int) { e.ctxs[u].crashed = true }
+// A pending wake request is consumed, so a crashed-but-woken node cannot
+// keep the network non-quiescent. The paper's algorithms are not
+// fault-tolerant (Section 5 leaves the failure-prone setting open); this
+// hook exists so tests can demonstrate *how* they fail — e.g. a mid-phase
+// crash permanently stalls the Section 3.3 COMPLETE convergecast rather
+// than corrupting labels.
+func (e *Engine) Crash(u int) {
+	ctx := e.ctxs[u]
+	if ctx.crashed {
+		return
+	}
+	ctx.crashed = true
+	if ctx.wake {
+		ctx.wake = false
+		e.wakeCount.Add(-1)
+	}
+}
 
 // Crashed reports whether u has been fail-stopped.
 func (e *Engine) Crashed(u int) bool { return e.ctxs[u].crashed }
@@ -315,12 +419,18 @@ func (e *Engine) Init() {
 	}
 	e.initDone = true
 	before := e.stats
-	e.forEachNode(func(u int) {
+	initNode := func(u int) {
 		ctx := e.ctxs[u]
 		ctx.round = 0
 		e.nodes[u].Init(ctx)
-	})
-	e.collect()
+	}
+	if e.cfg.FullScan {
+		e.forEachNodeSpawn(initNode)
+		e.collectFullScan()
+	} else {
+		e.pool.run(e.g.N(), initNode, e.cfg.Sequential)
+		e.collect(nil)
+	}
 	if e.cfg.Trace {
 		e.trace = append(e.trace, RoundStat{
 			Round:    0,
@@ -363,8 +473,13 @@ func (e *Engine) RunUntilQuiescent(maxRounds int) (int, error) {
 
 // Quiescent reports whether nothing is pending: no deliveries (immediate
 // or delayed) and no wakes. In asynchronous mode delivered messages are
-// consumed within the same step, so only the future heap matters.
+// consumed within the same step, so only the future heap matters. The
+// check is O(1): pending deliveries and wake requests are counted as they
+// are produced and consumed.
 func (e *Engine) Quiescent() bool {
+	if e.cfg.FullScan {
+		return e.quiescentScan()
+	}
 	if e.async {
 		if len(e.future) > 0 {
 			return false
@@ -372,16 +487,15 @@ func (e *Engine) Quiescent() bool {
 	} else if e.delivered > 0 {
 		return false
 	}
-	for _, ctx := range e.ctxs {
-		if ctx.wake && !ctx.crashed {
-			return false
-		}
-	}
-	return true
+	return e.wakeCount.Load() == 0
 }
 
-// step executes one synchronous round: deliver, run all nodes, collect.
+// step executes one synchronous round: deliver, run the active nodes,
+// collect.
 func (e *Engine) step() error {
+	if e.cfg.FullScan {
+		return e.stepFullScan()
+	}
 	if e.stats.Rounds >= e.cfg.MaxRounds {
 		return fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.MaxRounds)
 	}
@@ -390,22 +504,50 @@ func (e *Engine) step() error {
 	if e.async {
 		e.deliverDue(round)
 	}
+	// The runnable set for this round is everything scheduled so far:
+	// receivers of this round's deliveries plus wake requests. Ascending
+	// node-ID order makes collect's harvest order — and therefore every
+	// inbox's ordering — identical to the legacy all-nodes scan. On dense
+	// rounds the order comes from an O(n) scan of the membership bitmap,
+	// which beats comparison-sorting a quarter of the graph; on sparse
+	// rounds (the wave regime) a small sort wins.
+	e.active, e.pending = e.pending, e.active[:0]
+	if len(e.active)*4 >= e.g.N() {
+		e.active = e.active[:0]
+		for u, in := range e.pendingIn {
+			if in {
+				e.pendingIn[u] = false
+				e.active = append(e.active, u)
+			}
+		}
+	} else {
+		for _, u := range e.active {
+			e.pendingIn[u] = false
+		}
+		slices.Sort(e.active)
+	}
 	before := e.stats
-	e.forEachNode(func(u int) {
+	e.pool.run(len(e.active), func(i int) {
+		u := e.active[i]
 		ctx := e.ctxs[u]
 		if ctx.crashed {
-			ctx.wake = false
-			return // fail-stopped: executes nothing
+			return // fail-stopped: executes nothing, deliveries are dropped
 		}
-		inbox := e.inboxes[u]
+		var inbox []Incoming
+		if e.inboxStamp[u] == round {
+			inbox = e.inboxes[u]
+		}
 		if len(inbox) == 0 && !ctx.wake {
-			return // asleep: no event for this node
+			return // stale schedule entry: nothing to do
 		}
-		ctx.wake = false
+		if ctx.wake {
+			ctx.wake = false
+			e.wakeCount.Add(-1)
+		}
 		ctx.round = round
 		e.nodes[u].Round(ctx, inbox)
-	})
-	e.collect()
+	}, e.cfg.Sequential)
+	e.collect(e.active)
 	if e.cfg.Trace {
 		e.trace = append(e.trace, RoundStat{
 			Round:    round,
@@ -416,40 +558,57 @@ func (e *Engine) step() error {
 	return nil
 }
 
-// collect moves queued outgoing messages toward their destinations and
-// updates counters. It runs serially and in (sender, adjacency) order, so
-// every inbox is deterministically ordered. In synchronous mode messages
-// land in the next round's inboxes directly; in asynchronous mode each is
-// scheduled heapwise with its sampled delay.
-func (e *Engine) collect() {
+// collect moves queued outgoing messages toward their destinations,
+// updates counters, and schedules the next round's active set. Only the
+// nodes in ran can have queued sends or fresh wake requests, so only they
+// are harvested (ran == nil means all nodes, used after Init). Harvesting
+// runs serially and in (sender, adjacency) order, so every inbox is
+// deterministically ordered. In synchronous mode messages land in the
+// next round's buffers directly; in asynchronous mode each is scheduled
+// heapwise with its sampled delay.
+func (e *Engine) collect(ran []int) {
 	if e.async {
-		e.collectAsync()
+		e.collectAsync(ran)
 		return
 	}
-	// Reset next-round buffers.
-	for u := range e.scratch {
-		e.scratch[u] = e.scratch[u][:0]
-	}
 	var delivered, words int64
-	for u := 0; u < e.g.N(); u++ {
+	stamp := e.stats.Rounds + 1 // the round the scratch buffers will serve
+	harvest := func(u int) {
 		ctx := e.ctxs[u]
+		if ctx.wake {
+			e.schedule(u)
+		}
 		if ctx.sent == 0 {
-			continue
+			return
 		}
 		for i, msg := range ctx.out {
 			if msg == nil {
 				continue
 			}
-			v := ctx.neighbors[i]
 			ctx.out[i] = nil
+			v := ctx.neighbors[i]
 			if e.ctxs[v].crashed {
 				continue // dropped on the floor at a fail-stopped node
 			}
+			if e.inboxStamp[v] != stamp {
+				e.inboxStamp[v] = stamp
+				e.scratch[v] = e.scratch[v][:0] // lazy per-receiver reset
+			}
+			e.schedule(v)
 			e.scratch[v] = append(e.scratch[v], Incoming{From: u, Payload: msg})
 			delivered++
 			words += int64(msg.Words())
 		}
 		ctx.sent = 0
+	}
+	if ran == nil {
+		for u := 0; u < e.g.N(); u++ {
+			harvest(u)
+		}
+	} else {
+		for _, u := range ran {
+			harvest(u)
+		}
 	}
 	e.inboxes, e.scratch = e.scratch, e.inboxes
 	e.stats.Messages += delivered
@@ -460,15 +619,19 @@ func (e *Engine) collect() {
 // collectAsync schedules each queued message for a future round with a
 // uniform delay in [1, MaxDelay], clamped so deliveries on one directed
 // edge stay FIFO and respect the one-message-per-edge-per-round bandwidth
-// on the receiving side.
-func (e *Engine) collectAsync() {
+// on the receiving side. Wake requests still take effect next round, so
+// they go straight onto the active list.
+func (e *Engine) collectAsync(ran []int) {
 	now := e.stats.Rounds
 	var words int64
 	var count int64
-	for u := 0; u < e.g.N(); u++ {
+	harvest := func(u int) {
 		ctx := e.ctxs[u]
+		if ctx.wake {
+			e.schedule(u)
+		}
 		if ctx.sent == 0 {
-			continue
+			return
 		}
 		for i, msg := range ctx.out {
 			if msg == nil {
@@ -494,50 +657,34 @@ func (e *Engine) collectAsync() {
 		}
 		ctx.sent = 0
 	}
+	if ran == nil {
+		for u := 0; u < e.g.N(); u++ {
+			harvest(u)
+		}
+	} else {
+		for _, u := range ran {
+			harvest(u)
+		}
+	}
 	e.stats.Messages += count
 	e.stats.Words += words
 }
 
 // deliverDue moves every message scheduled for the given round into its
-// destination inbox.
+// destination inbox and schedules the receivers to run. Receivers'
+// inboxes are truncated lazily on first delivery (the stamp marks them
+// live); untouched inboxes keep stale content that no node will ever see.
 func (e *Engine) deliverDue(round int) {
-	for u := range e.inboxes {
-		e.inboxes[u] = e.inboxes[u][:0]
-	}
 	var delivered int64
 	for len(e.future) > 0 && e.future[0].due <= round {
 		d := heapPop(&e.future)
+		if e.inboxStamp[d.to] != round {
+			e.inboxStamp[d.to] = round
+			e.inboxes[d.to] = e.inboxes[d.to][:0]
+		}
+		e.schedule(d.to)
 		e.inboxes[d.to] = append(e.inboxes[d.to], d.inc)
 		delivered++
 	}
 	e.delivered = delivered
-}
-
-// forEachNode runs f over all node IDs, in parallel unless configured
-// sequential. f must only touch state owned by its node.
-func (e *Engine) forEachNode(f func(u int)) {
-	n := e.g.N()
-	if e.cfg.Sequential || n < 64 {
-		for u := 0; u < n; u++ {
-			f(u)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := parallelism(n)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= n {
-					return
-				}
-				f(u)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -1,0 +1,199 @@
+package congest
+
+// The legacy full-scan round loop, selected by Config.FullScan: every
+// round scans all n nodes in step, resets all n buffers in collect, scans
+// all n wake flags in Quiescent, and spawns a fresh goroutine batch for
+// the fan-out. It is kept — byte-for-byte in behavior — as the baseline
+// the scheduler benchmarks measure against and as the reference
+// implementation the equivalence suite compares the active-set scheduler
+// to. New engine features should target the active-set path; this one only
+// needs to stay faithful.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// quiescentScan is the legacy O(n) quiescence check: scan every node's
+// wake flag.
+func (e *Engine) quiescentScan() bool {
+	if e.async {
+		if len(e.future) > 0 {
+			return false
+		}
+	} else if e.delivered > 0 {
+		return false
+	}
+	for _, ctx := range e.ctxs {
+		if ctx.wake && !ctx.crashed {
+			return false
+		}
+	}
+	return true
+}
+
+// stepFullScan executes one synchronous round the legacy way: deliver, run
+// all n nodes, collect from all n nodes.
+func (e *Engine) stepFullScan() error {
+	if e.stats.Rounds >= e.cfg.MaxRounds {
+		return fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.MaxRounds)
+	}
+	e.stats.Rounds++
+	round := e.stats.Rounds
+	if e.async {
+		e.deliverDueFullScan(round)
+	}
+	before := e.stats
+	e.forEachNodeSpawn(func(u int) {
+		ctx := e.ctxs[u]
+		if ctx.crashed {
+			if ctx.wake {
+				ctx.wake = false
+				e.wakeCount.Add(-1)
+			}
+			return // fail-stopped: executes nothing
+		}
+		inbox := e.inboxes[u]
+		if len(inbox) == 0 && !ctx.wake {
+			return // asleep: no event for this node
+		}
+		if ctx.wake {
+			ctx.wake = false
+			e.wakeCount.Add(-1)
+		}
+		ctx.round = round
+		e.nodes[u].Round(ctx, inbox)
+	})
+	e.collectFullScan()
+	if e.cfg.Trace {
+		e.trace = append(e.trace, RoundStat{
+			Round:    round,
+			Messages: e.stats.Messages - before.Messages,
+			Words:    e.stats.Words - before.Words,
+		})
+	}
+	return nil
+}
+
+// collectFullScan is the legacy collect: reset every buffer, scan every
+// node for queued sends.
+func (e *Engine) collectFullScan() {
+	if e.async {
+		e.collectAsyncFullScan()
+		return
+	}
+	// Reset next-round buffers.
+	for u := range e.scratch {
+		e.scratch[u] = e.scratch[u][:0]
+	}
+	var delivered, words int64
+	for u := 0; u < e.g.N(); u++ {
+		ctx := e.ctxs[u]
+		if ctx.sent == 0 {
+			continue
+		}
+		for i, msg := range ctx.out {
+			if msg == nil {
+				continue
+			}
+			v := ctx.neighbors[i]
+			ctx.out[i] = nil
+			if e.ctxs[v].crashed {
+				continue // dropped on the floor at a fail-stopped node
+			}
+			e.scratch[v] = append(e.scratch[v], Incoming{From: u, Payload: msg})
+			delivered++
+			words += int64(msg.Words())
+		}
+		ctx.sent = 0
+	}
+	e.inboxes, e.scratch = e.scratch, e.inboxes
+	e.stats.Messages += delivered
+	e.stats.Words += words
+	e.delivered = delivered
+}
+
+// collectAsyncFullScan is the legacy async collect: scan every node for
+// queued sends and schedule each message heapwise with its sampled delay.
+func (e *Engine) collectAsyncFullScan() {
+	now := e.stats.Rounds
+	var words int64
+	var count int64
+	for u := 0; u < e.g.N(); u++ {
+		ctx := e.ctxs[u]
+		if ctx.sent == 0 {
+			continue
+		}
+		for i, msg := range ctx.out {
+			if msg == nil {
+				continue
+			}
+			if e.ctxs[ctx.neighbors[i]].crashed {
+				ctx.out[i] = nil
+				continue // dropped at a fail-stopped node
+			}
+			due := now + 1 + int(e.delayRNG.Int64N(int64(e.cfg.MaxDelay)))
+			if due <= ctx.lastDue[i] {
+				due = ctx.lastDue[i] + 1
+			}
+			ctx.lastDue[i] = due
+			e.seq++
+			heapPush(&e.future, futureDelivery{
+				due: due, seq: e.seq, to: ctx.neighbors[i],
+				inc: Incoming{From: u, Payload: msg},
+			})
+			count++
+			words += int64(msg.Words())
+			ctx.out[i] = nil
+		}
+		ctx.sent = 0
+	}
+	e.stats.Messages += count
+	e.stats.Words += words
+}
+
+// deliverDueFullScan is the legacy delivery: clear all n inboxes, then pop
+// every message scheduled for the given round.
+func (e *Engine) deliverDueFullScan(round int) {
+	for u := range e.inboxes {
+		e.inboxes[u] = e.inboxes[u][:0]
+	}
+	var delivered int64
+	for len(e.future) > 0 && e.future[0].due <= round {
+		d := heapPop(&e.future)
+		e.inboxes[d.to] = append(e.inboxes[d.to], d.inc)
+		delivered++
+	}
+	e.delivered = delivered
+}
+
+// forEachNodeSpawn is the legacy fan-out: spawn a fresh goroutine batch
+// every round, with workers pulling single node IDs off a shared atomic
+// counter.
+func (e *Engine) forEachNodeSpawn(f func(u int)) {
+	n := e.g.N()
+	if e.cfg.Sequential || n < parallelThreshold {
+		for u := 0; u < n; u++ {
+			f(u)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := parallelism(n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				f(u)
+			}
+		}()
+	}
+	wg.Wait()
+}

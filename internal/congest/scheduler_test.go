@@ -1,0 +1,365 @@
+package congest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"distsketch/internal/graph"
+)
+
+// The active-set scheduler must be observationally identical to the legacy
+// full-scan loop: same Stats, same node states, same trace — for every
+// graph family, in sequential, parallel, and asynchronous execution.
+
+func floodOutcome(t *testing.T, g *graph.Graph, cfg Config) (Stats, []int, []RoundStat) {
+	t.Helper()
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		nodes[i] = &floodNode{}
+	}
+	e := NewEngine(g, nodes, cfg)
+	defer e.Close()
+	if _, err := e.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	dists := make([]int, g.N())
+	for i := range dists {
+		dists[i] = e.Node(i).(*floodNode).dist
+	}
+	return e.Stats(), dists, e.Trace()
+}
+
+func TestActiveSetMatchesFullScan(t *testing.T) {
+	for _, f := range graph.AllFamilies() {
+		for _, cfg := range []Config{
+			{Sequential: true, Trace: true},
+			{Sequential: false, Trace: true},
+			{MaxDelay: 4, Seed: 11, Sequential: true, Trace: true},
+			{MaxDelay: 4, Seed: 11, Sequential: false, Trace: true},
+		} {
+			g := graph.Make(f, 160, graph.UnitWeights(), 9)
+			full := cfg
+			full.FullScan = true
+			sNew, dNew, trNew := floodOutcome(t, g, cfg)
+			sOld, dOld, trOld := floodOutcome(t, g, full)
+			if sNew != sOld {
+				t.Errorf("%s %+v: stats differ: active %v fullscan %v", f, cfg, sNew, sOld)
+			}
+			for v := range dNew {
+				if dNew[v] != dOld[v] {
+					t.Fatalf("%s %+v: node %d differs: active %d fullscan %d", f, cfg, v, dNew[v], dOld[v])
+				}
+			}
+			if len(trNew) != len(trOld) {
+				t.Fatalf("%s %+v: trace lengths differ: %d vs %d", f, cfg, len(trNew), len(trOld))
+			}
+			for i := range trNew {
+				if trNew[i] != trOld[i] {
+					t.Fatalf("%s %+v: trace entry %d differs: %+v vs %+v", f, cfg, i, trNew[i], trOld[i])
+				}
+			}
+		}
+	}
+}
+
+// inboxRecorder records the exact (from, payload) sequence of every inbox
+// it ever sees, so tests can assert the delivery *ordering* — not just the
+// fixed point — is unchanged.
+type inboxRecorder struct {
+	floodNode
+	log []Incoming
+}
+
+func (r *inboxRecorder) Round(ctx *Context, inbox []Incoming) {
+	r.log = append(r.log, inbox...)
+	r.floodNode.Round(ctx, inbox)
+}
+
+func TestActiveSetPreservesInboxOrder(t *testing.T) {
+	run := func(fullScan bool) [][]Incoming {
+		g := graph.Make(graph.FamilyER, 96, graph.UnitWeights(), 3)
+		nodes := make([]Node, g.N())
+		recs := make([]*inboxRecorder, g.N())
+		for i := range nodes {
+			recs[i] = &inboxRecorder{}
+			nodes[i] = recs[i]
+		}
+		e := NewEngine(g, nodes, Config{Sequential: true, FullScan: fullScan})
+		defer e.Close()
+		if _, err := e.RunUntilQuiescent(0); err != nil {
+			t.Fatal(err)
+		}
+		logs := make([][]Incoming, g.N())
+		for i := range logs {
+			logs[i] = recs[i].log
+		}
+		return logs
+	}
+	a, b := run(false), run(true)
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			t.Fatalf("node %d: delivery count differs: %d vs %d", v, len(a[v]), len(b[v]))
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatalf("node %d delivery %d: active %+v fullscan %+v", v, i, a[v][i], b[v][i])
+			}
+		}
+	}
+}
+
+// A node that is simultaneously woken and receives messages must run once
+// with its full inbox (not twice, not with a stale inbox).
+type wakeAndReceiveNode struct {
+	floodNode
+	runs      int
+	badInbox  int
+	wakeFirst bool
+}
+
+func (w *wakeAndReceiveNode) Init(ctx *Context) {
+	w.floodNode.Init(ctx)
+	if w.wakeFirst {
+		ctx.WakeNextRound()
+	}
+}
+
+func (w *wakeAndReceiveNode) Round(ctx *Context, inbox []Incoming) {
+	w.runs++
+	for _, in := range inbox {
+		if _, ok := in.Payload.(floodMsg); !ok {
+			w.badInbox++
+		}
+	}
+	w.floodNode.Round(ctx, inbox)
+}
+
+func TestWakerAndReceiverRunsOnce(t *testing.T) {
+	// Node 1 of a path wakes itself in Init AND receives node 0's flood in
+	// round 1: exactly one Round call with one message.
+	g := graph.Path(3, graph.UnitWeights(), 0)
+	n1 := &wakeAndReceiveNode{wakeFirst: true}
+	e := NewEngine(g, []Node{&floodNode{}, n1, &floodNode{}}, Config{})
+	defer e.Close()
+	if err := e.RunRounds(1); err != nil {
+		t.Fatal(err)
+	}
+	if n1.runs != 1 {
+		t.Errorf("node 1 ran %d times in round 1, want 1", n1.runs)
+	}
+	if n1.badInbox != 0 {
+		t.Errorf("node 1 saw %d malformed deliveries", n1.badInbox)
+	}
+	if n1.dist != 1 {
+		t.Errorf("node 1 dist = %d, want 1", n1.dist)
+	}
+}
+
+// A woken node must see an EMPTY inbox even if its buffer held deliveries
+// in an earlier round (lazily-reset buffers keep stale content around; the
+// stamp must hide it).
+type staleInboxProbe struct {
+	phase    int
+	stale    int
+	sawEmpty bool
+}
+
+func (p *staleInboxProbe) Init(ctx *Context) {}
+
+func (p *staleInboxProbe) Round(ctx *Context, inbox []Incoming) {
+	switch p.phase {
+	case 0: // received the flood: now request a pure wake
+		p.phase = 1
+		ctx.WakeNextRound()
+	case 1: // wake-only round: inbox must be empty
+		p.stale = len(inbox)
+		p.sawEmpty = len(inbox) == 0
+		p.phase = 2
+	}
+}
+
+func TestWakeRoundSeesEmptyInboxAfterDelivery(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights(), 0)
+	probe := &staleInboxProbe{}
+	sender := &panicNode{f: func(ctx *Context) {
+		if ctx.ID() == 0 {
+			ctx.Broadcast(floodMsg{hops: 1})
+		}
+	}}
+	e := NewEngine(g, []Node{sender, probe}, Config{})
+	defer e.Close()
+	if _, err := e.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawEmpty {
+		t.Errorf("wake-only round saw %d stale deliveries, want empty inbox", probe.stale)
+	}
+}
+
+// Crash must consume a pending wake so Quiescent (now O(1) off a counter)
+// cannot be held false forever by a crashed-but-woken node.
+func TestCrashConsumesPendingWake(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights(), 0)
+	e := NewEngine(g, []Node{&wakeNode{limit: 1 << 20}, &wakeNode{}}, Config{})
+	defer e.Close()
+	if err := e.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Quiescent() {
+		t.Fatal("waker still live, network must not be quiescent")
+	}
+	e.Crash(0)
+	if !e.Quiescent() {
+		t.Error("crashed node's pending wake still holds the network non-quiescent")
+	}
+	if got := e.wakeCount.Load(); got != 0 {
+		t.Errorf("wakeCount = %d after crash, want 0", got)
+	}
+}
+
+func TestWakeCrashedNodeIsNoop(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights(), 0)
+	e := NewEngine(g, []Node{&wakeNode{}, &wakeNode{}}, Config{})
+	defer e.Close()
+	e.Init()
+	e.Crash(0)
+	e.Wake(0)
+	if !e.Quiescent() {
+		t.Error("waking a crashed node must not schedule it")
+	}
+	rounds, err := e.RunUntilQuiescent(10)
+	if err != nil || rounds != 0 {
+		t.Errorf("rounds=%d err=%v, want 0,nil", rounds, err)
+	}
+}
+
+// Re-waking the engine after quiescence (the omniscient phase-sync driver
+// pattern in core.BuildTZ) must reschedule nodes through the active set.
+func TestWakeAfterQuiescenceReschedules(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 0)
+	nodes := make([]Node, 4)
+	ws := make([]*wakeNode, 4)
+	for i := range nodes {
+		ws[i] = &wakeNode{}
+		nodes[i] = ws[i]
+	}
+	e := NewEngine(g, nodes, Config{})
+	defer e.Close()
+	if _, err := e.RunUntilQuiescent(10); err != nil {
+		t.Fatal(err)
+	}
+	for phase := 0; phase < 3; phase++ {
+		ws[2].limit = ws[2].wakes + 1 // allow exactly one more wake-run
+		e.Wake(2)
+		rounds, err := e.RunUntilQuiescent(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != 1 {
+			t.Errorf("phase %d: rounds = %d, want 1", phase, rounds)
+		}
+	}
+	if ws[2].wakes != 3 {
+		t.Errorf("node 2 ran %d wake rounds, want 3", ws[2].wakes)
+	}
+}
+
+// awaitGoroutines polls until the goroutine count drops to at most want.
+func awaitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d (pool workers leaked)", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func runParallelFlood(t *testing.T) *Engine {
+	t.Helper()
+	g := graph.Make(graph.FamilyGrid, 512, graph.UnitWeights(), 1)
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		nodes[i] = &floodNode{}
+	}
+	e := NewEngine(g, nodes, Config{})
+	if _, err := e.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCloseReleasesWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := runParallelFlood(t)
+	e.Close()
+	awaitGoroutines(t, base)
+}
+
+func TestDroppedEngineReleasesWorkers(t *testing.T) {
+	// An engine dropped without Close must still shed its worker
+	// goroutines once collected: the parked pool holds no reference back
+	// to the engine, so GC can finalize it and shut the pool down. This
+	// guards against the pool ever being embedded in (or pinning) the
+	// engine allocation.
+	//
+	// Prewarm the runtime's finalizer goroutine (it starts on first
+	// finalization and never exits) so it doesn't count against the
+	// baseline.
+	done := make(chan struct{})
+	runtime.SetFinalizer(new(int), func(*int) { close(done) })
+	for stop := false; !stop; {
+		runtime.GC()
+		select {
+		case <-done:
+			stop = true
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	base := runtime.NumGoroutine()
+	runParallelFlood(t) // dropped immediately
+	awaitGoroutines(t, base)
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	g := graph.Make(graph.FamilyGrid, 256, graph.UnitWeights(), 1)
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		nodes[i] = &floodNode{}
+	}
+	e := NewEngine(g, nodes, Config{})
+	if _, err := e.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // must not panic
+}
+
+// Duplicate external wakes and wake+message overlap must not double-run a
+// node or corrupt the O(1) counters.
+func TestDuplicateWakesCoalesce(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights(), 0)
+	n0 := &wakeNode{limit: 1}
+	e := NewEngine(g, []Node{n0, &wakeNode{}}, Config{})
+	defer e.Close()
+	e.Init()
+	e.Wake(0)
+	e.Wake(0)
+	e.Wake(0)
+	rounds, err := e.RunUntilQuiescent(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0.wakes != 1 {
+		t.Errorf("node 0 ran %d times, want 1", n0.wakes)
+	}
+	if rounds != 1 {
+		t.Errorf("rounds = %d, want 1", rounds)
+	}
+}

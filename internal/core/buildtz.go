@@ -137,6 +137,7 @@ func buildTZPhased(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, erro
 		cfg.MaxWords = 1 + 2*opt.Batch
 	}
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	eng.Init()
 
 	res := &TZResult{Levels: levels}

@@ -22,6 +22,7 @@ func buildTZDetection(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, e
 	cfg := opt.Congest
 	cfg.Seed = opt.Seed
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, fmt.Errorf("core: detection run: %w", err)
 	}

@@ -152,6 +152,7 @@ func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.
 		nodes[u] = un
 	}
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, err
 	}

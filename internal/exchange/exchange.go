@@ -209,6 +209,7 @@ func Fetch(g *graph.Graph, tree *bfstree.Tree, sketches [][]byte, requester, tar
 	}
 	exs[requester].want = tree.In[target]
 	eng := congest.NewEngine(g, nodes, cfg)
+	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		return nil, err
 	}
