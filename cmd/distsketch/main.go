@@ -1,11 +1,17 @@
 // distsketch is a command-line front end for building distance sketches on
-// generated networks and issuing distance queries against them.
+// generated networks, persisting the built sets, and issuing distance
+// queries against them.
 //
 // Usage examples:
 //
 //	distsketch -family geometric -n 256 -kind tz -k 3 -query 0:255,3:17
 //	distsketch -family barabasi-albert -n 512 -kind graceful -summary
 //	distsketch -family grid -n 100 -kind landmark -eps 0.25 -dump 5
+//
+// A built set can be saved and served later without reconstruction:
+//
+//	distsketch -family geometric -n 1024 -kind tz -saveset net.dsk
+//	distsketch -loadset net.dsk -query 0:1023,5:900
 package main
 
 import (
@@ -32,64 +38,114 @@ func main() {
 	queries := flag.String("query", "", "comma-separated u:v pairs to estimate")
 	dump := flag.Int("dump", -1, "dump node's serialized sketch as hex")
 	summary := flag.Bool("summary", true, "print construction cost summary")
+	phases := flag.Bool("phases", false, "print the per-phase cost breakdown")
 	load := flag.String("load", "", "read the network from an edge-list file instead of generating one")
 	save := flag.String("save", "", "write the generated network to an edge-list file")
+	saveSet := flag.String("saveset", "", "write the built sketch set to this file")
+	loadSet := flag.String("loadset", "", "serve queries from a previously saved sketch set (skips the build)")
 	flag.Parse()
 
-	var g *distsketch.Graph
-	var err error
-	if *load != "" {
-		f, ferr := os.Open(*load)
-		if ferr != nil {
-			fatal(ferr)
+	var set *distsketch.SketchSet
+	if *loadSet != "" {
+		f, err := os.Open(*loadSet)
+		if err != nil {
+			fatal(err)
 		}
-		g, err = distsketch.ReadGraph(f)
+		set, err = distsketch.ReadSketchSet(f)
 		f.Close()
-	} else {
-		g, err = distsketch.NewRandomWeightedGraph(*family, *n, *minW, *maxW, *seed)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if *save != "" {
-		f, ferr := os.Create(*save)
-		if ferr != nil {
-			fatal(ferr)
+		if err != nil {
+			fatal(err)
 		}
-		if err := distsketch.WriteGraph(f, g); err != nil {
+		if *summary {
+			fmt.Printf("loaded:  %s (%d nodes, kind=%s)\n", *loadSet, set.N(), set.Kind())
+		}
+	} else {
+		var g *distsketch.Graph
+		var err error
+		if *load != "" {
+			f, ferr := os.Open(*load)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			g, err = distsketch.ReadGraph(f)
+			f.Close()
+		} else {
+			g, err = distsketch.NewRandomWeightedGraph(*family, *n, *minW, *maxW, *seed)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *save != "" {
+			f, ferr := os.Create(*save)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			if err := distsketch.WriteGraph(f, g); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		set, err = distsketch.Build(g, distsketch.Options{
+			Kind:      distsketch.Kind(*kind),
+			K:         *k,
+			Eps:       *eps,
+			Seed:      *seed,
+			Detection: *detection,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *summary {
+			fmt.Printf("graph:   family=%s n=%d m=%d seed=%d\n", *family, g.N(), g.M(), *seed)
+		}
+	}
+
+	if *summary {
+		fmt.Printf("sketch:  kind=%s", set.Kind())
+		if *loadSet == "" {
+			// Parameter details come from the build flags; a loaded set
+			// was built with its own (unrecorded) parameters.
+			switch set.Kind() {
+			case distsketch.KindTZ:
+				fmt.Printf(" k=%d stretch≤%d", *k, 2**k-1)
+			case distsketch.KindCDG:
+				fmt.Printf(" k=%d eps=%g stretch≤%d (ε-slack)", *k, *eps, 8**k-1)
+			case distsketch.KindLandmark:
+				fmt.Printf(" eps=%g stretch≤3 (ε-slack)", *eps)
+			case distsketch.KindGraceful:
+				fmt.Printf(" worst stretch O(log n), avg stretch O(1)")
+			}
+		}
+		fmt.Println()
+		fmt.Printf("cost:    rounds=%d messages=%d words=%d\n", set.Rounds(), set.Messages(), set.Words())
+		fmt.Printf("size:    max=%d words, mean=%.1f words\n", set.MaxSketchWords(), set.MeanSketchWords())
+	}
+
+	if *phases {
+		cost := set.Cost()
+		fmt.Printf("%-24s  %10s  %14s  %14s\n", "phase", "rounds", "messages", "words")
+		for _, p := range cost.Phases {
+			fmt.Printf("%-24s  %10d  %14d  %14d\n", p.Name, p.Rounds, p.Messages, p.Words)
+		}
+		fmt.Printf("%-24s  %10d  %14d  %14d\n", "total", cost.Total.Rounds, cost.Total.Messages, cost.Total.Words)
+	}
+
+	if *saveSet != "" {
+		f, err := os.Create(*saveSet)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := set.WriteTo(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-	}
-	res, err := distsketch.Build(g, distsketch.Options{
-		Kind:      distsketch.Kind(*kind),
-		K:         *k,
-		Eps:       *eps,
-		Seed:      *seed,
-		Detection: *detection,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	if *summary {
-		fmt.Printf("graph:   family=%s n=%d m=%d seed=%d\n", *family, g.N(), g.M(), *seed)
-		fmt.Printf("sketch:  kind=%s", res.Kind())
-		switch res.Kind() {
-		case distsketch.KindTZ:
-			fmt.Printf(" k=%d stretch≤%d", *k, 2**k-1)
-		case distsketch.KindCDG:
-			fmt.Printf(" k=%d eps=%g stretch≤%d (ε-slack)", *k, *eps, 8**k-1)
-		case distsketch.KindLandmark:
-			fmt.Printf(" eps=%g stretch≤3 (ε-slack)", *eps)
-		case distsketch.KindGraceful:
-			fmt.Printf(" worst stretch O(log n), avg stretch O(1)")
+		if *summary {
+			fmt.Printf("saved:   %s\n", *saveSet)
 		}
-		fmt.Println()
-		fmt.Printf("cost:    rounds=%d messages=%d words=%d\n", res.Rounds(), res.Messages(), res.Words())
-		fmt.Printf("size:    max=%d words, mean=%.1f words\n", res.MaxSketchWords(), res.MeanSketchWords())
 	}
 
 	if *queries != "" {
@@ -100,10 +156,10 @@ func main() {
 			}
 			u, err1 := strconv.Atoi(parts[0])
 			v, err2 := strconv.Atoi(parts[1])
-			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= set.N() || v >= set.N() {
 				fatal(fmt.Errorf("bad query %q", q))
 			}
-			est := res.Query(u, v)
+			est := set.Query(u, v)
 			if est == distsketch.Inf {
 				fmt.Printf("d(%d,%d) ≈ ∞ (no common reference in sketches)\n", u, v)
 			} else {
@@ -113,12 +169,12 @@ func main() {
 	}
 
 	if *dump >= 0 {
-		if *dump >= g.N() {
+		if *dump >= set.N() {
 			fatal(fmt.Errorf("node %d out of range", *dump))
 		}
-		blob := res.SketchBytes(*dump)
+		blob := set.SketchBytes(*dump)
 		fmt.Printf("sketch of node %d (%d bytes, %d words):\n%s\n",
-			*dump, len(blob), res.SketchWords(*dump), hex.Dump(blob))
+			*dump, len(blob), set.SketchWords(*dump), hex.Dump(blob))
 	}
 }
 

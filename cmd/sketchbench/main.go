@@ -1,5 +1,8 @@
 // sketchbench runs the per-theorem reproduction experiments (E1–E12,
 // DESIGN.md §4) and prints their tables — the data behind EXPERIMENTS.md.
+// It also measures the facade's serving hot path: the decode-once query
+// (ParseSketch + Sketch.Estimate) against the byte-level Estimate that
+// re-decodes per call.
 //
 // Usage:
 //
@@ -10,7 +13,7 @@
 //
 // The -json report exists so successive PRs can track the performance
 // trajectory: commit the output as BENCH_<rev>.json and diff the
-// per-experiment seconds across revisions.
+// per-experiment seconds (and query-path nanoseconds) across revisions.
 package main
 
 import (
@@ -22,17 +25,19 @@ import (
 	"strings"
 	"time"
 
+	"distsketch"
 	"distsketch/internal/experiments"
 )
 
 // benchReport is the -json output schema.
 type benchReport struct {
-	Scale        string     `json:"scale"`
-	GoVersion    string     `json:"go_version"`
-	GOMAXPROCS   int        `json:"gomaxprocs"`
-	Experiments  []benchRun `json:"experiments"`
-	TotalSeconds float64    `json:"total_seconds"`
-	OK           bool       `json:"ok"`
+	Scale        string         `json:"scale"`
+	GoVersion    string         `json:"go_version"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	Experiments  []benchRun     `json:"experiments"`
+	QueryPath    []queryPathRun `json:"query_path,omitempty"`
+	TotalSeconds float64        `json:"total_seconds"`
+	OK           bool           `json:"ok"`
 }
 
 // benchRun is one experiment's wall-clock measurement.
@@ -42,10 +47,21 @@ type benchRun struct {
 	OK      bool    `json:"ok"`
 }
 
+// queryPathRun compares the decode-once query path (Sketch.Estimate on
+// pre-parsed sketches) against the byte-level path (Estimate re-decoding
+// both blobs per call) for one sketch kind.
+type queryPathRun struct {
+	Kind        string  `json:"kind"`
+	DecodedNs   float64 `json:"decoded_ns_per_query"`
+	ByteLevelNs float64 `json:"byte_level_ns_per_query"`
+	Speedup     float64 `json:"speedup"`
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick | full")
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
 	jsonPath := flag.String("json", "", "write per-run wall-clock JSON to this file ('-' for stdout)")
+	queryBench := flag.Bool("querybench", true, "measure the decode-once vs byte-level query path per kind")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -92,6 +108,15 @@ func main() {
 		start := time.Now()
 		run(name, f(cfg), time.Since(start))
 	}
+	if *queryBench {
+		report.QueryPath = runQueryBench()
+		fmt.Println("query path: decode-once (Sketch.Estimate) vs byte-level (Estimate) on 256-node geometric, 200k queries")
+		fmt.Printf("%-10s  %14s  %14s  %8s\n", "kind", "decoded ns/q", "bytes ns/q", "speedup")
+		for _, r := range report.QueryPath {
+			fmt.Printf("%-10s  %14.1f  %14.1f  %7.1fx\n", r.Kind, r.DecodedNs, r.ByteLevelNs, r.Speedup)
+		}
+		fmt.Println()
+	}
 	report.TotalSeconds = time.Since(total).Seconds()
 	if *exp == "all" {
 		fmt.Printf("total: %s\n", time.Duration(report.TotalSeconds*float64(time.Second)).Round(time.Millisecond))
@@ -106,6 +131,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, "some paper bounds were violated")
 		os.Exit(1)
 	}
+}
+
+// runQueryBench times the facade's two query paths over every sketch
+// kind: parse-once-then-estimate versus re-decoding both blobs per call.
+// The gap is the cost the decode-once redesign removes from the serving
+// hot path.
+func runQueryBench() []queryPathRun {
+	const (
+		n       = 256
+		queries = 200_000
+	)
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, n, 1, 100, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "querybench graph: %v\n", err)
+		os.Exit(1)
+	}
+	var out []queryPathRun
+	for _, kind := range []distsketch.Kind{
+		distsketch.KindTZ, distsketch.KindLandmark, distsketch.KindCDG, distsketch.KindGraceful,
+	} {
+		set, err := distsketch.Build(g, distsketch.Options{Kind: kind, K: 3, Eps: 0.25, Seed: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "querybench %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		blobs := make([][]byte, n)
+		parsed := make([]*distsketch.Sketch, n)
+		for u := 0; u < n; u++ {
+			blobs[u] = set.SketchBytes(u)
+			parsed[u], err = distsketch.ParseSketch(blobs[u])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "querybench %s parse: %v\n", kind, err)
+				os.Exit(1)
+			}
+		}
+		pair := func(i int) (int, int) { return i % n, (i*37 + 11) % n }
+
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			u, v := pair(i)
+			if _, err := parsed[u].Estimate(parsed[v]); err != nil {
+				fmt.Fprintf(os.Stderr, "querybench %s: %v\n", kind, err)
+				os.Exit(1)
+			}
+		}
+		decoded := time.Since(start)
+
+		start = time.Now()
+		for i := 0; i < queries; i++ {
+			u, v := pair(i)
+			if _, err := distsketch.Estimate(blobs[u], blobs[v]); err != nil {
+				fmt.Fprintf(os.Stderr, "querybench %s: %v\n", kind, err)
+				os.Exit(1)
+			}
+		}
+		byteLevel := time.Since(start)
+
+		out = append(out, queryPathRun{
+			Kind:        string(kind),
+			DecodedNs:   float64(decoded.Nanoseconds()) / queries,
+			ByteLevelNs: float64(byteLevel.Nanoseconds()) / queries,
+			Speedup:     float64(byteLevel.Nanoseconds()) / float64(decoded.Nanoseconds()),
+		})
+	}
+	return out
 }
 
 func writeReport(path string, r *benchReport) error {

@@ -16,28 +16,41 @@
 //     for every ε simultaneously, hence O(log n) worst-case and O(1)
 //     average stretch, size O(log⁴ n) words (Theorem 1.3).
 //
-// Quick start:
+// The API mirrors the paper's build-once / query-millions lifecycle. A
+// one-time distributed construction produces a SketchSet:
 //
 //	g, _ := distsketch.NewRandomGraph(distsketch.FamilyGeometric, 256, 1)
-//	res, _ := distsketch.Build(g, distsketch.Options{Kind: distsketch.KindTZ, K: 3, Seed: 1})
-//	est := res.Query(12, 99)                 // ≤ (2·3-1)·d(12, 99)
-//	fmt.Println(res.Rounds(), res.Messages()) // CONGEST cost of construction
+//	set, _ := distsketch.Build(g, distsketch.Options{Kind: distsketch.KindTZ, K: 3, Seed: 1})
+//	est := set.Query(12, 99)                    // ≤ (2·3-1)·d(12, 99)
+//	cost := set.Cost()                          // CONGEST rounds/messages, per phase
 //
-// Sketches serialize to bytes, so two nodes can exchange them and estimate
-// their distance offline:
+// Long builds are cancelable and observable through BuildContext. A built
+// set persists through WriteTo / ReadSketchSet, so a serving process can
+// load it and answer queries without ever rebuilding:
 //
-//	a, b := res.SketchBytes(12), res.SketchBytes(99)
-//	est, _ = distsketch.Estimate(a, b)
+//	var buf bytes.Buffer
+//	set.WriteTo(&buf)
+//	set2, _ := distsketch.ReadSketchSet(&buf)   // byte-identical estimates
+//
+// At query time only sketches are consulted (Section 2.1 of the paper):
+// a node ships its sketch as bytes, and the receiver decodes it once into
+// a Sketch value that answers any number of estimates with no further
+// decoding:
+//
+//	sa, _ := distsketch.ParseSketch(set.SketchBytes(12))
+//	sb, _ := distsketch.ParseSketch(set.SketchBytes(99))
+//	est, _ = sa.Estimate(sb)
+//
+// Landmark sketch sets additionally support in-place incremental repair
+// after an edge weight decrease (SketchSet.UpdateEdge), costing messages
+// proportional to the affected region instead of a full rebuild.
 package distsketch
 
 import (
 	"fmt"
 	"io"
 
-	"distsketch/internal/congest"
-	"distsketch/internal/core"
 	"distsketch/internal/graph"
-	"distsketch/internal/sketch"
 )
 
 // Dist is a network distance in weight units.
@@ -101,237 +114,3 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // WriteGraph serializes g in the format ReadGraph accepts.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
-
-// Kind selects the sketch construction.
-type Kind string
-
-// Available sketch kinds.
-const (
-	KindTZ       Kind = "tz"
-	KindLandmark Kind = "landmark"
-	KindCDG      Kind = "cdg"
-	KindGraceful Kind = "graceful"
-)
-
-// Options configures Build.
-type Options struct {
-	// Kind selects the construction (default KindTZ).
-	Kind Kind
-	// K is the Thorup–Zwick hierarchy depth (KindTZ: stretch 2K-1;
-	// KindCDG: stretch 8K-1). Default 3.
-	K int
-	// Eps is the slack parameter for KindLandmark and KindCDG. Default 1/8.
-	Eps float64
-	// Seed drives all randomness; equal seeds give identical sketches.
-	Seed uint64
-	// Detection switches KindTZ to the in-band Section 3.3
-	// termination-detection protocol instead of omniscient phase sync.
-	Detection bool
-	// Sequential forces the single-goroutine simulator (deterministic
-	// profiling, race-free debugging). Default parallel.
-	Sequential bool
-	// BandwidthBatch packs up to this many announcements per message
-	// (the paper's B-bits-per-round generalization; KindTZ with
-	// omniscient sync only). 0 or 1 is the standard CONGEST model.
-	BandwidthBatch int
-	// MaxDelay simulates asynchronous delivery: each message is delayed
-	// by a uniform number of rounds in [1, MaxDelay], FIFO per edge. The
-	// constructions converge to identical sketches (see the async tests);
-	// only the round count grows. 0 or 1 is synchronous.
-	MaxDelay int
-}
-
-func (o *Options) withDefaults() Options {
-	out := *o
-	if out.Kind == "" {
-		out.Kind = KindTZ
-	}
-	if out.K == 0 {
-		out.K = 3
-	}
-	if out.Eps == 0 {
-		out.Eps = 0.125
-	}
-	return out
-}
-
-// Result is a built sketch set: one sketch per node plus the CONGEST cost
-// of constructing them.
-type Result struct {
-	kind  Kind
-	n     int
-	query func(u, v int) Dist
-	bytes func(u int) []byte
-	words func(u int) int
-	cost  core.CostBreakdown
-}
-
-// Kind returns the construction used.
-func (r *Result) Kind() Kind { return r.kind }
-
-// N returns the number of nodes.
-func (r *Result) N() int { return r.n }
-
-// Query estimates the distance between u and v from their sketches.
-func (r *Result) Query(u, v int) Dist { return r.query(u, v) }
-
-// SketchBytes returns node u's serialized sketch (what u would hand to a
-// peer that asks for it; Section 2.1 of the paper).
-func (r *Result) SketchBytes(u int) []byte { return r.bytes(u) }
-
-// SketchWords returns node u's sketch size in O(log n)-bit words, the
-// unit the paper's size bounds use.
-func (r *Result) SketchWords(u int) int { return r.words(u) }
-
-// MaxSketchWords returns the largest sketch size in words.
-func (r *Result) MaxSketchWords() int {
-	m := 0
-	for u := 0; u < r.n; u++ {
-		if s := r.words(u); s > m {
-			m = s
-		}
-	}
-	return m
-}
-
-// MeanSketchWords returns the average sketch size in words.
-func (r *Result) MeanSketchWords() float64 {
-	t := 0
-	for u := 0; u < r.n; u++ {
-		t += r.words(u)
-	}
-	return float64(t) / float64(r.n)
-}
-
-// Rounds returns the CONGEST rounds the construction took.
-func (r *Result) Rounds() int { return r.cost.Total.Rounds }
-
-// Messages returns the total messages the construction sent.
-func (r *Result) Messages() int64 { return r.cost.Total.Messages }
-
-// Words returns the total message words the construction sent.
-func (r *Result) Words() int64 { return r.cost.Total.Words }
-
-// Build constructs distance sketches for every node of g in a simulated
-// CONGEST network.
-func Build(g *Graph, opts Options) (*Result, error) {
-	o := opts.withDefaults()
-	cfg := congest.Config{Sequential: o.Sequential, MaxDelay: o.MaxDelay}
-	switch o.Kind {
-	case KindTZ:
-		mode := core.SyncOmniscient
-		if o.Detection {
-			mode = core.SyncDetection
-		}
-		res, err := core.BuildTZ(g, core.TZOptions{
-			K: o.K, Seed: o.Seed, Mode: mode, Batch: o.BandwidthBatch, Congest: cfg,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			kind:  KindTZ,
-			n:     g.N(),
-			query: res.Query,
-			bytes: func(u int) []byte { return sketch.MarshalTZ(res.Labels[u]) },
-			words: func(u int) int { return res.Labels[u].SizeWords() },
-			cost:  res.Cost,
-		}, nil
-	case KindLandmark:
-		res, err := core.BuildLandmark(g, core.SlackOptions{Eps: o.Eps, Seed: o.Seed, Congest: cfg})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			kind:  KindLandmark,
-			n:     g.N(),
-			query: res.Query,
-			bytes: func(u int) []byte { return sketch.MarshalLandmark(res.Labels[u]) },
-			words: func(u int) int { return res.Labels[u].SizeWords() },
-			cost:  res.Cost,
-		}, nil
-	case KindCDG:
-		res, err := core.BuildCDG(g, core.SlackOptions{Eps: o.Eps, K: o.K, Seed: o.Seed, Congest: cfg})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			kind:  KindCDG,
-			n:     g.N(),
-			query: res.Query,
-			bytes: func(u int) []byte { return sketch.MarshalCDG(res.Labels[u]) },
-			words: func(u int) int { return res.Labels[u].SizeWords() },
-			cost:  res.Cost,
-		}, nil
-	case KindGraceful:
-		res, err := core.BuildGraceful(g, o.Seed, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			kind:  KindGraceful,
-			n:     g.N(),
-			query: res.Query,
-			bytes: func(u int) []byte { return sketch.MarshalGraceful(res.Labels[u]) },
-			words: func(u int) int { return res.Labels[u].SizeWords() },
-			cost:  res.Cost,
-		}, nil
-	default:
-		return nil, fmt.Errorf("distsketch: unknown kind %q", o.Kind)
-	}
-}
-
-// Estimate computes a distance estimate from two serialized sketches of
-// the same kind, without any other state — the paper's query model.
-func Estimate(a, b []byte) (Dist, error) {
-	if len(a) == 0 || len(b) == 0 {
-		return 0, fmt.Errorf("distsketch: empty sketch")
-	}
-	if a[0] != b[0] {
-		return 0, fmt.Errorf("distsketch: mismatched sketch kinds")
-	}
-	switch a[0] {
-	case 1: // TZ
-		la, err := sketch.UnmarshalTZ(a)
-		if err != nil {
-			return 0, err
-		}
-		lb, err := sketch.UnmarshalTZ(b)
-		if err != nil {
-			return 0, err
-		}
-		return sketch.QueryTZ(la, lb), nil
-	case 2: // landmark
-		la, err := sketch.UnmarshalLandmark(a)
-		if err != nil {
-			return 0, err
-		}
-		lb, err := sketch.UnmarshalLandmark(b)
-		if err != nil {
-			return 0, err
-		}
-		return sketch.QueryLandmark(la, lb), nil
-	case 3: // CDG
-		la, err := sketch.UnmarshalCDG(a)
-		if err != nil {
-			return 0, err
-		}
-		lb, err := sketch.UnmarshalCDG(b)
-		if err != nil {
-			return 0, err
-		}
-		return sketch.QueryCDG(la, lb), nil
-	case 4: // graceful
-		la, err := sketch.UnmarshalGraceful(a)
-		if err != nil {
-			return 0, err
-		}
-		lb, err := sketch.UnmarshalGraceful(b)
-		if err != nil {
-			return 0, err
-		}
-		return sketch.QueryGraceful(la, lb), nil
-	default:
-		return 0, fmt.Errorf("distsketch: unknown sketch tag %d", a[0])
-	}
-}

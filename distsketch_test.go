@@ -29,8 +29,9 @@ func TestBuildAllKinds(t *testing.T) {
 		if res.MaxSketchWords() <= 0 || res.MeanSketchWords() > float64(res.MaxSketchWords()) {
 			t.Errorf("%s: bad size accounting", kind)
 		}
-		// Estimates are upper bounds wherever defined.
-		rep := eval.Evaluate(ap, res.Query, eval.SamplePairs(64, 500, 1))
+		// Estimates are upper bounds wherever defined. (The set satisfies
+		// eval.Querier directly.)
+		rep := eval.EvaluateQuerier(ap, res, eval.SamplePairs(64, 500, 1))
 		if rep.Violations != 0 {
 			t.Errorf("%s: %d estimates below true distance", kind, rep.Violations)
 		}

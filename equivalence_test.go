@@ -55,7 +55,7 @@ func buildSketches(t *testing.T, kind string, g *graph.Graph, cfg congest.Config
 		}
 		cost = res.Cost.Total
 	case "graceful":
-		res, err := core.BuildGraceful(g, seed, cfg)
+		res, err := core.BuildGraceful(g, core.SlackOptions{Seed: seed, Congest: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

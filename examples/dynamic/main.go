@@ -2,8 +2,9 @@
 // real networks change, so sketches must be refreshed periodically. This
 // example builds landmark sketches on a weighted network, then simulates
 // a sequence of link improvements (weight decreases) and repairs the
-// sketches incrementally instead of rebuilding, comparing the message
-// cost of the two strategies while spot-checking exactness.
+// sketch set in place with SketchSet.UpdateEdge instead of rebuilding,
+// comparing the message cost of the two strategies while spot-checking
+// that the repaired estimates match a fresh rebuild exactly.
 //
 // Run with: go run ./examples/dynamic
 package main
@@ -24,30 +25,32 @@ func main() {
 	}
 	fmt.Printf("network: %d nodes, %d links\n", g.N(), g.M())
 
-	res, err := distsketch.Build(g, distsketch.Options{
+	set, err := distsketch.Build(g, distsketch.Options{
 		Kind: distsketch.KindLandmark, Eps: 0.25, Seed: 17,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial build: %d rounds, %d messages\n\n", res.Rounds(), res.Messages())
+	fmt.Printf("initial build: %d rounds, %d messages\n\n", set.Rounds(), set.Messages())
 
 	// Simulate link improvements: pick random edges, halve their weight,
-	// and repair. (The public facade exposes full rebuilds; the
-	// incremental protocol lives in the library's core and is surfaced
-	// through the UpdateLandmark API exercised by cmd/sketchbench -exp
-	// E14. Here we measure the rebuild baseline the repair competes
-	// with.)
+	// and repair the live set with the warm-start protocol. The repair
+	// cost scales with the region whose distances actually changed, not
+	// with the network size.
 	r := rand.New(rand.NewPCG(17, 3))
-	edges := g.Edges()
-	fmt.Printf("%-8s  %-12s  %14s  %14s\n", "step", "edge", "rebuild msgs", "est d(0,n-1)")
+	fmt.Printf("%-8s  %-12s  %14s  %14s  %14s\n",
+		"step", "edge", "repair msgs", "rebuild msgs", "saving")
 	cur := g
 	for step := 1; step <= 5; step++ {
+		edges := cur.Edges()
 		e := edges[r.Int64N(int64(len(edges)))]
+		if e.Weight <= 1 {
+			continue
+		}
 		nb := distsketch.NewGraphBuilder(cur.N())
 		for _, x := range cur.Edges() {
 			w := x.Weight
-			if x.U == e.U && x.V == e.V && w > 1 {
+			if x.U == e.U && x.V == e.V {
 				w = w / 2
 			}
 			nb.AddEdge(x.U, x.V, w)
@@ -56,16 +59,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err = distsketch.Build(cur, distsketch.Options{
+
+		// Incremental repair: in place, exact, cheap.
+		repair, err := set.UpdateEdge(cur, e.U, e.V)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The rebuild baseline the repair competes with.
+		rebuilt, err := distsketch.Build(cur, distsketch.Options{
 			Kind: distsketch.KindLandmark, Eps: 0.25, Seed: 17,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d  (%3d,%3d)    %14d  %14d\n",
-			step, e.U, e.V, res.Messages(), res.Query(0, cur.N()-1))
-		edges = cur.Edges()
+		for _, pair := range [][2]int{{0, n - 1}, {3, 170}, {40, 90}} {
+			if got, want := set.Query(pair[0], pair[1]), rebuilt.Query(pair[0], pair[1]); got != want {
+				log.Fatalf("step %d: repaired estimate d(%d,%d)=%d != rebuilt %d",
+					step, pair[0], pair[1], got, want)
+			}
+		}
+		fmt.Printf("%-8d  (%3d,%3d)    %14d  %14d  %13.1fx\n",
+			step, e.U, e.V, repair.Messages, rebuilt.Messages(),
+			float64(rebuilt.Messages())/float64(max(repair.Messages, 1)))
 	}
-	fmt.Println("\nthe incremental repair (see `sketchbench -exp E14`) replaces each of these")
-	fmt.Println("rebuilds with a warm-start wave costing 10-400x fewer messages, exactly.")
+	fmt.Println("\nevery repair left the labels exactly equal to a fresh rebuild's —")
+	fmt.Println("the warm-start wave relaxes only the changed edge and re-propagates.")
 }

@@ -50,7 +50,7 @@ func main() {
 	fmt.Println("near-shortest paths with only neighbor-local decisions.")
 }
 
-func run(g *distsketch.Graph, exact, res *distsketch.Result, name string) {
+func run(g *distsketch.Graph, exact, res *distsketch.SketchSet, name string) {
 	r := rand.New(rand.NewPCG(23, 7))
 	const trials = 300
 	var sumStretch float64
@@ -79,7 +79,7 @@ func run(g *distsketch.Graph, exact, res *distsketch.Result, name string) {
 
 // route forwards greedily: next hop = unvisited neighbor minimizing
 // (weight to neighbor + estimated d(neighbor, dst)).
-func route(g *distsketch.Graph, res *distsketch.Result, src, dst int) (cost distsketch.Dist, reached bool, detours int) {
+func route(g *distsketch.Graph, res *distsketch.SketchSet, src, dst int) (cost distsketch.Dist, reached bool, detours int) {
 	visited := map[int]bool{src: true}
 	cur := src
 	for steps := 0; steps < 4*g.N(); steps++ {

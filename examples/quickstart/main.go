@@ -44,9 +44,19 @@ func main() {
 	}
 
 	// The deployment story (Section 2.1 of the paper): node u asks node v
-	// for its serialized sketch and estimates the distance offline.
+	// for its serialized sketch, decodes it once, and estimates the
+	// distance offline — and keeps the decoded Sketch around to answer
+	// any number of further queries without re-parsing.
 	blobU, blobV := res.SketchBytes(0), res.SketchBytes(255)
-	est, err := distsketch.Estimate(blobU, blobV)
+	su, err := distsketch.ParseSketch(blobU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv, err := distsketch.ParseSketch(blobV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := su.Estimate(sv)
 	if err != nil {
 		log.Fatal(err)
 	}

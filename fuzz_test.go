@@ -1,0 +1,83 @@
+package distsketch
+
+// Fuzz targets for the public entry points that face untrusted bytes:
+// ParseSketch and Estimate accept data received from arbitrary peers
+// (Section 2.1's "ask for its sketch") and must never panic, whatever
+// arrives. The internal codecs have their own fuzzers; these exercise
+// the facade's dispatch and wrapping on top of them.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns one serialized sketch per kind from a small build.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 24, 1, 9, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seeds [][]byte
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		set, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, set.SketchBytes(0), set.SketchBytes(23))
+	}
+	return seeds
+}
+
+func FuzzParseSketch(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{5, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := ParseSketch(data)
+		if err != nil {
+			return
+		}
+		if sk == nil {
+			t.Fatal("nil sketch without error")
+		}
+		if sk.Kind() == "" {
+			t.Fatal("decoded sketch with empty kind")
+		}
+		// Accepted input must round-trip through the wire format.
+		out, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		again, err := ParseSketch(out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		out2, _ := again.MarshalBinary()
+		if !bytes.Equal(out, out2) {
+			t.Fatal("marshal/parse/marshal not a fixed point")
+		}
+	})
+}
+
+func FuzzEstimate(f *testing.F) {
+	seeds := fuzzSeeds(f)
+	for i := 0; i+1 < len(seeds); i += 2 {
+		f.Add(seeds[i], seeds[i+1])
+	}
+	f.Add([]byte{1}, []byte{2})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		d, err := Estimate(a, b)
+		if err != nil {
+			return
+		}
+		if d < 0 && d != Inf {
+			t.Fatalf("negative estimate %d", d)
+		}
+	})
+}

@@ -35,6 +35,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -101,6 +102,16 @@ type Config struct {
 	// equivalence tests; executions are bit-identical, only slower when
 	// the active frontier is much smaller than n.
 	FullScan bool
+	// Ctx, when non-nil, makes the run cancelable: the engine checks the
+	// context before every round and aborts with a wrapped Ctx.Err() once
+	// it is done. This is how the facade's BuildContext plumbs context
+	// cancellation into the round loop. A nil or background context adds
+	// no per-round cost.
+	Ctx context.Context
+	// OnRound, when non-nil, is invoked on the driver goroutine after
+	// every completed round with the 1-based engine round number
+	// (progress reporting for long builds).
+	OnRound func(round int)
 }
 
 // RoundStat is one point of the per-round traffic time series.
@@ -169,6 +180,11 @@ type Engine struct {
 	// engine could never be collected (and its cleanup never run).
 	pool *workerPool
 
+	// done caches Config.Ctx.Done(); nil when the run is not cancelable
+	// (no context, or a context that can never be canceled), so the
+	// per-round check is a single nil comparison in the common case.
+	done <-chan struct{}
+
 	stats     Stats
 	initDone  bool
 	delivered int64 // messages delivered in the most recent round
@@ -212,6 +228,9 @@ func NewEngine(g *graph.Graph, nodes []Node, cfg Config) *Engine {
 	}
 	if e.async {
 		e.delayRNG = rand.New(rand.NewPCG(cfg.Seed^0xA57C, 0xDE1A7))
+	}
+	if cfg.Ctx != nil {
+		e.done = cfg.Ctx.Done()
 	}
 	for u := 0; u < g.N(); u++ {
 		adj := g.Adj(u)
@@ -490,12 +509,32 @@ func (e *Engine) Quiescent() bool {
 	return e.wakeCount.Load() == 0
 }
 
-// step executes one synchronous round: deliver, run the active nodes,
-// collect.
+// step executes one synchronous round and services the engine-level
+// hooks: context cancellation is checked before the round, Config.OnRound
+// fires after it.
 func (e *Engine) step() error {
-	if e.cfg.FullScan {
-		return e.stepFullScan()
+	if e.done != nil {
+		select {
+		case <-e.done:
+			return fmt.Errorf("congest: run canceled after %d rounds: %w", e.stats.Rounds, e.cfg.Ctx.Err())
+		default:
+		}
 	}
+	var err error
+	if e.cfg.FullScan {
+		err = e.stepFullScan()
+	} else {
+		err = e.stepActive()
+	}
+	if err == nil && e.cfg.OnRound != nil {
+		e.cfg.OnRound(e.stats.Rounds)
+	}
+	return err
+}
+
+// stepActive executes one synchronous round on the active-set scheduler:
+// deliver, run the active nodes, collect.
+func (e *Engine) stepActive() error {
 	if e.stats.Rounds >= e.cfg.MaxRounds {
 		return fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.MaxRounds)
 	}

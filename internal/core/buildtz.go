@@ -34,6 +34,10 @@ type TZOptions struct {
 	Batch int
 	// Congest tunes the simulator (sequential mode, message budget).
 	Congest congest.Config
+	// Progress, when non-nil, is invoked after every simulated round with
+	// the name of the construction phase being executed and the
+	// engine-local round number. It overrides Congest.OnRound.
+	Progress func(phase string, round int)
 }
 
 // TZResult is the outcome of a distributed sketch construction.
@@ -136,6 +140,11 @@ func buildTZPhased(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, erro
 	if opt.Batch > 1 && cfg.MaxWords < 1+2*opt.Batch {
 		cfg.MaxWords = 1 + 2*opt.Batch
 	}
+	var curPhase string
+	if opt.Progress != nil {
+		prog := opt.Progress
+		cfg.OnRound = func(r int) { prog(curPhase, r) }
+	}
 	eng := congest.NewEngine(g, nodes, cfg)
 	defer eng.Close()
 	eng.Init()
@@ -143,6 +152,7 @@ func buildTZPhased(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, erro
 	res := &TZResult{Levels: levels}
 	res.Cost.PerPhase = make([]congest.Stats, opt.K)
 	for phase := opt.K - 1; phase >= 0; phase-- {
+		curPhase = fmt.Sprintf("phase %d", phase)
 		before := eng.Stats()
 		anySource := false
 		for u := 0; u < n; u++ {

@@ -31,6 +31,10 @@ type SlackOptions struct {
 	Instance int
 	// Congest tunes the simulator.
 	Congest congest.Config
+	// Progress, when non-nil, is invoked after every simulated round with
+	// the name of the construction stage being executed and the
+	// engine-local round number. It overrides Congest.OnRound.
+	Progress func(phase string, round int)
 }
 
 // LandmarkResult is the outcome of the distributed Theorem 4.3
@@ -84,8 +88,16 @@ func BuildLandmark(g *graph.Graph, opt SlackOptions) (*LandmarkResult, error) {
 	if len(net) == 0 {
 		return nil, fmt.Errorf("core: empty density net (n=%d eps=%g seed=%d)", n, opt.Eps, opt.Seed)
 	}
+	var prog func(string, int)
+	if opt.Progress != nil {
+		p := opt.Progress
+		// The inner k=1 run's phase name is always "phase 0"; report the
+		// construction's own name instead.
+		prog = func(_ string, r int) { p("landmark", r) }
+	}
 	res, err := BuildTZ(g, TZOptions{
 		K: 1, Seed: opt.Seed, Mode: SyncOmniscient, Levels: levels, Congest: opt.Congest,
+		Progress: prog,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +179,15 @@ func BuildCDG(g *graph.Graph, opt SlackOptions) (*CDGResult, error) {
 
 	cfg := opt.Congest
 	cfg.Seed = opt.Seed
+	// stageCfg tags each stage's engine with a named progress hook.
+	stageCfg := func(stage string) congest.Config {
+		c := cfg
+		if opt.Progress != nil {
+			p := opt.Progress
+			c.OnRound = func(r int) { p(stage, r) }
+		}
+		return c
+	}
 
 	// Stage 2: super-node wave.
 	waves := make([]*waveNode, n)
@@ -175,7 +196,7 @@ func BuildCDG(g *graph.Graph, opt SlackOptions) (*CDGResult, error) {
 		waves[u] = newWaveNode(u, isNet[u])
 		nodes[u] = waves[u]
 	}
-	eng := congest.NewEngine(g, nodes, cfg)
+	eng := congest.NewEngine(g, nodes, stageCfg("cdg wave"))
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		eng.Close()
 		return nil, fmt.Errorf("core: super-node wave: %w", err)
@@ -192,7 +213,7 @@ func BuildCDG(g *graph.Graph, opt SlackOptions) (*CDGResult, error) {
 		adopts[u] = &adoptNode{parentIdx: waves[u].parentIdx}
 		nodes[u] = adopts[u]
 	}
-	eng = congest.NewEngine(g, nodes, cfg)
+	eng = congest.NewEngine(g, nodes, stageCfg("cdg adopt"))
 	if _, err := eng.RunUntilQuiescent(0); err != nil {
 		eng.Close()
 		return nil, fmt.Errorf("core: adopt round: %w", err)
@@ -209,8 +230,14 @@ func BuildCDG(g *graph.Graph, opt SlackOptions) (*CDGResult, error) {
 			levels[u] = sketch.TopLevelFromRNG(sketch.NodeRNG(opt.Seed, tzSalt, u), opt.K, q)
 		}
 	}
+	var tzProg func(string, int)
+	if opt.Progress != nil {
+		p := opt.Progress
+		tzProg = func(phase string, r int) { p("cdg net-tz "+phase, r) }
+	}
 	tzRes, err := BuildTZ(g, TZOptions{
 		K: opt.K, Seed: opt.Seed, Mode: SyncOmniscient, Levels: levels, Congest: cfg,
+		Progress: tzProg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: net Thorup–Zwick: %w", err)
@@ -219,7 +246,7 @@ func BuildCDG(g *graph.Graph, opt SlackOptions) (*CDGResult, error) {
 	// Stage 4: ship each net node's label down its cell tree. Chunks are
 	// 5 words; raise the per-message budget accordingly (still O(log n)
 	// bits).
-	shipCfg := cfg
+	shipCfg := stageCfg("cdg ship")
 	if shipCfg.MaxWords < 5 {
 		shipCfg.MaxWords = 5
 	}
@@ -299,8 +326,10 @@ func (r *GracefulResult) MaxLabelWords() int {
 
 // BuildGraceful runs the distributed gracefully degrading construction:
 // the (ε_i, k_i)-CDG instances for ε_i = 2^{-i}, k_i = i, i = 1..⌈log n⌉,
-// executed back to back (Theorem 4.8).
-func BuildGraceful(g *graph.Graph, seed uint64, cfg congest.Config) (*GracefulResult, error) {
+// executed back to back (Theorem 4.8). Of opt only Seed, Congest and
+// Progress are used; Eps, K and Instance are fixed per level by the
+// construction itself.
+func BuildGraceful(g *graph.Graph, opt SlackOptions) (*GracefulResult, error) {
 	n := g.N()
 	L := sketch.GracefulLevels(n)
 	res := &GracefulResult{PerLevel: make([]congest.Stats, L)}
@@ -310,8 +339,15 @@ func BuildGraceful(g *graph.Graph, seed uint64, cfg congest.Config) (*GracefulRe
 	}
 	for i := 1; i <= L; i++ {
 		eps := 1.0 / float64(int64(1)<<uint(i))
+		var prog func(string, int)
+		if opt.Progress != nil {
+			p := opt.Progress
+			level := i
+			prog = func(stage string, r int) { p(fmt.Sprintf("level %d %s", level, stage), r) }
+		}
 		cdg, err := BuildCDG(g, SlackOptions{
-			Eps: eps, K: sketch.GracefulK(i), Seed: seed, Instance: i, Congest: cfg,
+			Eps: eps, K: sketch.GracefulK(i), Seed: opt.Seed, Instance: i, Congest: opt.Congest,
+			Progress: prog,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: graceful level %d: %w", i, err)

@@ -164,7 +164,7 @@ func TestCDGSaturatedNetIsExactTZ(t *testing.T) {
 
 func TestGracefulDistributedMatchesCentralized(t *testing.T) {
 	g := graph.Make(graph.FamilyER, 48, graph.UniformWeights(1, 8), 19)
-	dist, err := BuildGraceful(g, 19, congestDefault())
+	dist, err := BuildGraceful(g, SlackOptions{Seed: 19, Congest: congestDefault()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestGracefulDistributedMatchesCentralized(t *testing.T) {
 
 func TestGracefulDistributedBounds(t *testing.T) {
 	g := graph.Make(graph.FamilyGeometric, 64, nil, 29)
-	res, err := BuildGraceful(g, 29, congestDefault())
+	res, err := BuildGraceful(g, SlackOptions{Seed: 29, Congest: congestDefault()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,11 @@ func buildTZDetection(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, e
 	}
 	cfg := opt.Congest
 	cfg.Seed = opt.Seed
+	if opt.Progress != nil {
+		// Phase boundaries are in-band here, invisible to the runner.
+		prog := opt.Progress
+		cfg.OnRound = func(r int) { prog("detection", r) }
+	}
 	eng := congest.NewEngine(g, nodes, cfg)
 	defer eng.Close()
 	if _, err := eng.RunUntilQuiescent(0); err != nil {

@@ -16,6 +16,19 @@ import (
 // QueryFunc produces a distance estimate for an ordered pair of nodes.
 type QueryFunc func(u, v int) graph.Dist
 
+// Querier answers distance queries from built sketches. The facade's
+// SketchSet and the core construction results all satisfy it, so callers
+// can hand the result object straight to EvaluateQuerier instead of
+// plucking a method value.
+type Querier interface {
+	Query(u, v int) graph.Dist
+}
+
+// EvaluateQuerier is Evaluate over a Querier.
+func EvaluateQuerier(apsp [][]graph.Dist, q Querier, pairs []Pair) Report {
+	return Evaluate(apsp, q.Query, pairs)
+}
+
 // Report summarizes estimate quality over a pair set.
 type Report struct {
 	Pairs         int     // pairs evaluated (finite true distance, u != v)

@@ -175,7 +175,7 @@ func E10(cfg Config) *Table {
 		for _, n := range cfg.Sizes {
 			g := graph.Make(f, n, graph.UniformWeights(1, 10), 19)
 			n := g.N() // generators may round n up (e.g. grid)
-			res, err := core.BuildGraceful(g, 19, congestCfg())
+			res, err := core.BuildGraceful(g, core.SlackOptions{Seed: 19, Congest: congestCfg()})
 			if err != nil {
 				t.Failf("%s n=%d: %v", f, n, err)
 				continue

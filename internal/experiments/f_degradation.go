@@ -28,7 +28,7 @@ func F2(cfg Config) *Table {
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	g := graph.Make(f, n, graph.UniformWeights(1, 10), 53)
 	n = g.N()
-	res, err := core.BuildGraceful(g, 53, congestCfg())
+	res, err := core.BuildGraceful(g, core.SlackOptions{Seed: 53, Congest: congestCfg()})
 	if err != nil {
 		t.Failf("%v", err)
 		return t

@@ -14,11 +14,12 @@ import (
 // "it can directly contact the other node using its IP address and ask
 // for its sketch"). The format is varint-based and self-delimiting.
 
+// Wire-format tag bytes, the first byte of every encoded label.
 const (
-	tagTZ       = 1
-	tagLandmark = 2
-	tagCDG      = 3
-	tagGraceful = 4
+	TagTZ       byte = 1
+	TagLandmark byte = 2
+	TagCDG      byte = 3
+	TagGraceful byte = 4
 )
 
 func putInt(buf *bytes.Buffer, v int64) {
@@ -57,7 +58,7 @@ func getDist(buf *bytes.Reader) (graph.Dist, error) {
 // MarshalTZ encodes a TZ label.
 func MarshalTZ(l *TZLabel) []byte {
 	var buf bytes.Buffer
-	buf.WriteByte(tagTZ)
+	buf.WriteByte(TagTZ)
 	putInt(&buf, int64(l.Owner))
 	putInt(&buf, int64(l.K))
 	for _, p := range l.Pivots {
@@ -78,7 +79,7 @@ func MarshalTZ(l *TZLabel) []byte {
 func UnmarshalTZ(data []byte) (*TZLabel, error) {
 	r := bytes.NewReader(data)
 	tag, err := r.ReadByte()
-	if err != nil || tag != tagTZ {
+	if err != nil || tag != TagTZ {
 		return nil, fmt.Errorf("sketch: bad TZ tag")
 	}
 	l, err := readTZ(r)
@@ -103,6 +104,12 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 	if k < 1 || k > math.MaxInt32 {
 		return nil, fmt.Errorf("sketch: bad k %d", k)
 	}
+	// Each pivot occupies at least 2 bytes, so k beyond the remaining
+	// input is malformed — reject it before allocating k pivot slots
+	// (an attacker-controlled k must not drive a huge allocation).
+	if k > int64(r.Len())/2+1 {
+		return nil, fmt.Errorf("sketch: k %d exceeds input", k)
+	}
 	l := NewTZLabel(int(owner), int(k))
 	for i := 0; i < int(k); i++ {
 		node, err := getInt(r)
@@ -121,6 +128,10 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 	}
 	if m < 0 {
 		return nil, fmt.Errorf("sketch: negative bunch size")
+	}
+	// Each bunch entry occupies at least 3 bytes.
+	if m > int64(r.Len())/3+1 {
+		return nil, fmt.Errorf("sketch: bunch size %d exceeds input", m)
 	}
 	for j := 0; j < int(m); j++ {
 		w, err := getInt(r)
@@ -143,7 +154,7 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 // MarshalLandmark encodes a landmark label.
 func MarshalLandmark(l *LandmarkLabel) []byte {
 	var buf bytes.Buffer
-	buf.WriteByte(tagLandmark)
+	buf.WriteByte(TagLandmark)
 	putInt(&buf, int64(l.Owner))
 	putInt(&buf, int64(len(l.Dists)))
 	for _, w := range l.NetNodes() {
@@ -157,7 +168,7 @@ func MarshalLandmark(l *LandmarkLabel) []byte {
 func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 	r := bytes.NewReader(data)
 	tag, err := r.ReadByte()
-	if err != nil || tag != tagLandmark {
+	if err != nil || tag != TagLandmark {
 		return nil, fmt.Errorf("sketch: bad landmark tag")
 	}
 	owner, err := getInt(r)
@@ -167,6 +178,10 @@ func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 	m, err := getInt(r)
 	if err != nil {
 		return nil, err
+	}
+	// Each entry occupies at least 2 bytes.
+	if m < 0 || m > int64(r.Len())/2+1 {
+		return nil, fmt.Errorf("sketch: entry count %d exceeds input", m)
 	}
 	l := NewLandmarkLabel(int(owner))
 	for j := 0; j < int(m); j++ {
@@ -189,7 +204,7 @@ func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 // MarshalCDG encodes a CDG label.
 func MarshalCDG(l *CDGLabel) []byte {
 	var buf bytes.Buffer
-	buf.WriteByte(tagCDG)
+	buf.WriteByte(TagCDG)
 	writeCDG(&buf, l)
 	return buf.Bytes()
 }
@@ -211,7 +226,7 @@ func writeCDG(buf *bytes.Buffer, l *CDGLabel) {
 func UnmarshalCDG(data []byte) (*CDGLabel, error) {
 	r := bytes.NewReader(data)
 	tag, err := r.ReadByte()
-	if err != nil || tag != tagCDG {
+	if err != nil || tag != TagCDG {
 		return nil, fmt.Errorf("sketch: bad CDG tag")
 	}
 	l, err := readCDG(r)
@@ -253,7 +268,7 @@ func readCDG(r *bytes.Reader) (*CDGLabel, error) {
 	}
 	if hasLabel == 1 {
 		tag, err := r.ReadByte()
-		if err != nil || tag != tagTZ {
+		if err != nil || tag != TagTZ {
 			return nil, fmt.Errorf("sketch: bad nested TZ tag")
 		}
 		l.NetLabel, err = readTZ(r)
@@ -267,7 +282,7 @@ func readCDG(r *bytes.Reader) (*CDGLabel, error) {
 // MarshalGraceful encodes a graceful label.
 func MarshalGraceful(l *GracefulLabel) []byte {
 	var buf bytes.Buffer
-	buf.WriteByte(tagGraceful)
+	buf.WriteByte(TagGraceful)
 	putInt(&buf, int64(l.Owner))
 	putInt(&buf, int64(len(l.Levels)))
 	for _, c := range l.Levels {
@@ -280,7 +295,7 @@ func MarshalGraceful(l *GracefulLabel) []byte {
 func UnmarshalGraceful(data []byte) (*GracefulLabel, error) {
 	r := bytes.NewReader(data)
 	tag, err := r.ReadByte()
-	if err != nil || tag != tagGraceful {
+	if err != nil || tag != TagGraceful {
 		return nil, fmt.Errorf("sketch: bad graceful tag")
 	}
 	owner, err := getInt(r)
@@ -290,6 +305,10 @@ func UnmarshalGraceful(data []byte) (*GracefulLabel, error) {
 	m, err := getInt(r)
 	if err != nil {
 		return nil, err
+	}
+	// Each nested CDG label occupies at least 5 bytes.
+	if m < 0 || m > int64(r.Len())/5+1 {
+		return nil, fmt.Errorf("sketch: level count %d exceeds input", m)
 	}
 	l := &GracefulLabel{Owner: int(owner)}
 	for j := 0; j < int(m); j++ {

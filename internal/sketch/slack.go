@@ -87,6 +87,11 @@ func QueryCDG(a, b *CDGLabel) graph.Dist {
 		// Same nearest net node: estimate through it directly.
 		return graph.AddDist(a.NetDist, b.NetDist)
 	}
+	if a.NetLabel == nil || b.NetLabel == nil {
+		// A label without its net node's TZ label (legal on the wire)
+		// has no common reference to estimate through.
+		return graph.Inf
+	}
 	mid := QueryTZ(a.NetLabel, b.NetLabel)
 	return graph.AddDist(a.NetDist, graph.AddDist(mid, b.NetDist))
 }

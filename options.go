@@ -1,0 +1,85 @@
+package distsketch
+
+import "fmt"
+
+// Kind selects the sketch construction.
+type Kind string
+
+// Available sketch kinds.
+const (
+	KindTZ       Kind = "tz"
+	KindLandmark Kind = "landmark"
+	KindCDG      Kind = "cdg"
+	KindGraceful Kind = "graceful"
+)
+
+// Options configures Build. The zero value of a numeric field selects
+// its documented default; any other invalid value is rejected by Build
+// with an error.
+type Options struct {
+	// Kind selects the construction (default KindTZ).
+	Kind Kind
+	// K is the Thorup–Zwick hierarchy depth (KindTZ: stretch 2K-1;
+	// KindCDG: stretch 8K-1). Default 3; must be ≥ 1.
+	K int
+	// Eps is the slack parameter for KindLandmark and KindCDG. Default
+	// 1/8; must lie in (0, 1).
+	Eps float64
+	// Seed drives all randomness; equal seeds give identical sketches.
+	Seed uint64
+	// Detection switches KindTZ to the in-band Section 3.3
+	// termination-detection protocol instead of omniscient phase sync.
+	Detection bool
+	// Sequential forces the single-goroutine simulator (deterministic
+	// profiling, race-free debugging). Default parallel.
+	Sequential bool
+	// BandwidthBatch packs up to this many announcements per message
+	// (the paper's B-bits-per-round generalization; KindTZ with
+	// omniscient sync only). 0 or 1 is the standard CONGEST model.
+	BandwidthBatch int
+	// MaxDelay simulates asynchronous delivery: each message is delayed
+	// by a uniform number of rounds in [1, MaxDelay], FIFO per edge. The
+	// constructions converge to identical sketches (see the async tests);
+	// only the round count grows. 0 or 1 is synchronous.
+	MaxDelay int
+	// Progress, when non-nil, is invoked after every simulated round
+	// with the name of the construction phase being executed and the
+	// engine-local round number. It is called on the build's driver
+	// goroutine; a slow hook slows the build.
+	Progress func(phase string, round int)
+}
+
+// withDefaults fills zero-valued fields with their defaults and validates
+// everything else. Zero means "default" by design; genuinely invalid
+// values (negative K, Eps outside (0,1), ...) are errors, not silent
+// rewrites.
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Kind == "" {
+		out.Kind = KindTZ
+	}
+	switch out.Kind {
+	case KindTZ, KindLandmark, KindCDG, KindGraceful:
+	default:
+		return out, fmt.Errorf("distsketch: unknown kind %q", out.Kind)
+	}
+	if out.K == 0 {
+		out.K = 3
+	}
+	if out.K < 1 {
+		return out, fmt.Errorf("distsketch: K must be >= 1, got %d", out.K)
+	}
+	if out.Eps == 0 {
+		out.Eps = 0.125
+	}
+	if out.Eps < 0 || out.Eps >= 1 {
+		return out, fmt.Errorf("distsketch: Eps must be in (0, 1), got %g", out.Eps)
+	}
+	if out.BandwidthBatch < 0 {
+		return out, fmt.Errorf("distsketch: BandwidthBatch must be >= 0, got %d", out.BandwidthBatch)
+	}
+	if out.MaxDelay < 0 {
+		return out, fmt.Errorf("distsketch: MaxDelay must be >= 0, got %d", out.MaxDelay)
+	}
+	return out, nil
+}

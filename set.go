@@ -1,0 +1,474 @@
+package distsketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"distsketch/internal/congest"
+	"distsketch/internal/core"
+	"distsketch/internal/sketch"
+)
+
+// Stats is the CONGEST cost of a construction, one of its phases, or an
+// incremental repair: synchronous rounds executed, messages delivered,
+// and total message words — exactly the quantities the paper's theorems
+// bound.
+type Stats struct {
+	Rounds   int
+	Messages int64
+	Words    int64
+}
+
+// Add returns componentwise s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Rounds: s.Rounds + o.Rounds, Messages: s.Messages + o.Messages, Words: s.Words + o.Words}
+}
+
+// PhaseCost is the cost of one named construction phase.
+type PhaseCost struct {
+	Name string
+	Stats
+}
+
+// CostBreakdown separates a construction's total cost into the paper's
+// accounting categories.
+type CostBreakdown struct {
+	// Total is the whole construction (plus any later UpdateEdge
+	// repairs, which accumulate into it).
+	Total Stats
+	// Phases breaks the construction into its phases in execution
+	// order: the Thorup–Zwick Bellman–Ford phases k-1..0 for KindTZ,
+	// the wave/adopt/net-TZ/ship stages for KindCDG, one entry per
+	// slack level for KindGraceful.
+	Phases []PhaseCost
+	// DataMessages counts Bellman–Ford data messages only.
+	DataMessages int64
+	// EchoMessages counts Section 3.3 ECHO messages (zero outside
+	// detection mode).
+	EchoMessages int64
+	// ControlMessages counts BFS setup, COMPLETE, START and FINISH
+	// messages (detection mode).
+	ControlMessages int64
+	// SetupRounds is the leader-election/BFS-tree prologue (detection).
+	SetupRounds int
+}
+
+func statsOf(s congest.Stats) Stats {
+	return Stats{Rounds: s.Rounds, Messages: s.Messages, Words: s.Words}
+}
+
+// SketchSet is a built set of distance sketches: one decoded Sketch per
+// node plus the CONGEST cost of constructing them. It is a plain value —
+// it can be queried, persisted with WriteTo, reloaded with ReadSketchSet,
+// and (for KindLandmark) repaired in place with UpdateEdge.
+type SketchSet struct {
+	kind     Kind
+	sketches []*Sketch
+	cost     CostBreakdown
+	// net is the landmark density net, retained (and persisted) so a
+	// reloaded set still supports incremental repair. Nil for other
+	// kinds.
+	net []int
+}
+
+// Kind returns the construction used.
+func (s *SketchSet) Kind() Kind { return s.kind }
+
+// N returns the number of nodes.
+func (s *SketchSet) N() int { return len(s.sketches) }
+
+// Sketch returns node u's decoded sketch. The returned value shares
+// state with the set; treat it as read-only.
+func (s *SketchSet) Sketch(u int) *Sketch { return s.sketches[u] }
+
+// Query estimates the distance between u and v from their two sketches
+// alone, on the decode-once path (no per-query unmarshaling).
+func (s *SketchSet) Query(u, v int) Dist {
+	d, err := sketch.Query(s.sketches[u].label, s.sketches[v].label)
+	if err != nil {
+		// Unreachable: a set holds sketches of one kind by construction.
+		panic(err)
+	}
+	return d
+}
+
+// SketchBytes returns node u's serialized sketch (what u would hand to a
+// peer that asks for it; Section 2.1 of the paper).
+func (s *SketchSet) SketchBytes(u int) []byte { return sketch.Marshal(s.sketches[u].label) }
+
+// SketchWords returns node u's sketch size in O(log n)-bit words.
+func (s *SketchSet) SketchWords(u int) int { return s.sketches[u].Words() }
+
+// MaxSketchWords returns the largest sketch size in words.
+func (s *SketchSet) MaxSketchWords() int {
+	m := 0
+	for _, sk := range s.sketches {
+		if w := sk.Words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MeanSketchWords returns the average sketch size in words.
+func (s *SketchSet) MeanSketchWords() float64 {
+	t := 0
+	for _, sk := range s.sketches {
+		t += sk.Words()
+	}
+	return float64(t) / float64(len(s.sketches))
+}
+
+// Cost returns the full CONGEST cost breakdown of the construction,
+// including per-phase rounds, messages and words.
+func (s *SketchSet) Cost() CostBreakdown { return s.cost }
+
+// Rounds returns the CONGEST rounds the construction took.
+func (s *SketchSet) Rounds() int { return s.cost.Total.Rounds }
+
+// Messages returns the total messages the construction sent.
+func (s *SketchSet) Messages() int64 { return s.cost.Total.Messages }
+
+// Words returns the total message words the construction sent.
+func (s *SketchSet) Words() int64 { return s.cost.Total.Words }
+
+// UpdateEdge repairs the set in place after the weight of edge {a,b}
+// decreased, using the warm-start Bellman–Ford protocol of the paper's
+// dynamic-maintenance motivation: only the region whose distances
+// actually changed pays messages, not the whole network. g must be the
+// new topology (same node set and edges, the one changed weight). The
+// returned Stats is the cost of the repair alone; it also accumulates
+// into Cost().Total.
+//
+// The repair runs on cloned labels and the set is swapped to the result
+// only on success, so a failed repair leaves the set exactly as it was.
+// Sketch values handed out before the repair keep the pre-repair
+// labels. UpdateEdge itself is not safe for concurrent use with Query
+// on the same set; a process serving queries while repairing must
+// synchronize the swap (e.g. behind a sync.RWMutex).
+//
+// Repair is currently implemented for KindLandmark (whose labels are
+// exact distances to the density net, so decreases admit an exact
+// warm-start fix). Other kinds return an error and must rebuild.
+func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
+	if s.kind != KindLandmark {
+		return Stats{}, fmt.Errorf("distsketch: incremental repair is not supported for %s sketches (only %s); rebuild instead", s.kind, KindLandmark)
+	}
+	n := len(s.sketches)
+	if g.N() != n {
+		return Stats{}, fmt.Errorf("distsketch: graph has %d nodes, set has %d", g.N(), n)
+	}
+	// core.UpdateLandmark consumes and mutates the labels it is given;
+	// repair clones so a mid-run failure cannot leave the live set
+	// half-relaxed.
+	labels := make([]*sketch.LandmarkLabel, n)
+	for u, sk := range s.sketches {
+		old := sk.label.(*sketch.LandmarkLabel)
+		clone := sketch.NewLandmarkLabel(old.Owner)
+		for w, d := range old.Dists {
+			clone.Dists[w] = d
+		}
+		labels[u] = clone
+	}
+	prev := &core.LandmarkResult{Labels: labels, Net: s.net}
+	upd, err := core.UpdateLandmark(g, prev, a, b, congest.Config{})
+	if err != nil {
+		return Stats{}, fmt.Errorf("distsketch: %w", err)
+	}
+	for u := range s.sketches {
+		s.sketches[u] = &Sketch{kind: KindLandmark, label: upd.Labels[u]}
+	}
+	repair := statsOf(upd.Cost.Total)
+	s.cost.Total = s.cost.Total.Add(repair)
+	return repair, nil
+}
+
+// Sketch-set envelope: a versioned container so a built set can be saved
+// and served later without rebuilding. Layout:
+//
+//	magic "DSKSET" | version byte | payload length (uvarint) |
+//	payload | crc32(payload) (4 bytes, little-endian)
+//
+// The payload holds the kind tag, node count, full cost breakdown, the
+// landmark density net (repair support), and each node's sketch in the
+// ParseSketch wire format. All integers are uvarints.
+const (
+	setMagic   = "DSKSET"
+	setVersion = 1
+)
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putStats(buf *bytes.Buffer, s Stats) {
+	putUvarint(buf, uint64(s.Rounds))
+	putUvarint(buf, uint64(s.Messages))
+	putUvarint(buf, uint64(s.Words))
+}
+
+// WriteTo serializes the set in the envelope format ReadSketchSet
+// accepts. It implements io.WriterTo.
+func (s *SketchSet) WriteTo(w io.Writer) (int64, error) {
+	var payload bytes.Buffer
+	payload.WriteByte(tagOfKind(s.kind))
+	putUvarint(&payload, uint64(len(s.sketches)))
+	putStats(&payload, s.cost.Total)
+	putUvarint(&payload, uint64(s.cost.DataMessages))
+	putUvarint(&payload, uint64(s.cost.EchoMessages))
+	putUvarint(&payload, uint64(s.cost.ControlMessages))
+	putUvarint(&payload, uint64(s.cost.SetupRounds))
+	putUvarint(&payload, uint64(len(s.cost.Phases)))
+	for _, p := range s.cost.Phases {
+		putUvarint(&payload, uint64(len(p.Name)))
+		payload.WriteString(p.Name)
+		putStats(&payload, p.Stats)
+	}
+	putUvarint(&payload, uint64(len(s.net)))
+	for _, u := range s.net {
+		putUvarint(&payload, uint64(u))
+	}
+	for _, sk := range s.sketches {
+		blob := sketch.Marshal(sk.label)
+		putUvarint(&payload, uint64(len(blob)))
+		payload.Write(blob)
+	}
+
+	var head bytes.Buffer
+	head.WriteString(setMagic)
+	head.WriteByte(setVersion)
+	putUvarint(&head, uint64(payload.Len()))
+	var total int64
+	n, err := w.Write(head.Bytes())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(payload.Bytes())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	n, err = w.Write(crc[:])
+	total += int64(n)
+	return total, err
+}
+
+func tagOfKind(k Kind) byte {
+	switch k {
+	case KindTZ:
+		return sketch.TagTZ
+	case KindLandmark:
+		return sketch.TagLandmark
+	case KindCDG:
+		return sketch.TagCDG
+	case KindGraceful:
+		return sketch.TagGraceful
+	default:
+		panic(fmt.Sprintf("distsketch: unknown kind %q", k))
+	}
+}
+
+func getUvarint(r *bytes.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// getCount reads a uvarint that counts elements of at least minBytes
+// bytes each and bounds it by the remaining input, so a corrupt count
+// cannot drive a huge allocation or loop.
+func getCount(r *bytes.Reader, minBytes int) (int, error) {
+	v, err := getUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.Len()/minBytes)+1 {
+		return 0, fmt.Errorf("distsketch: count %d exceeds input", v)
+	}
+	return int(v), nil
+}
+
+func getStats(r *bytes.Reader) (Stats, error) {
+	var s Stats
+	v, err := getUvarint(r)
+	if err != nil {
+		return s, err
+	}
+	s.Rounds = int(v)
+	if v, err = getUvarint(r); err != nil {
+		return s, err
+	}
+	s.Messages = int64(v)
+	if v, err = getUvarint(r); err != nil {
+		return s, err
+	}
+	s.Words = int64(v)
+	return s, nil
+}
+
+// ReadSketchSet deserializes a set written by WriteTo. The input is
+// validated end to end: envelope version, payload checksum, and every
+// node's sketch (kind and owner must match its slot), so a corrupt or
+// truncated file yields an error, never a panic or a silently wrong set.
+func ReadSketchSet(r io.Reader) (*SketchSet, error) {
+	head := make([]byte, len(setMagic)+1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("distsketch: reading sketch-set header: %w", err)
+	}
+	if string(head[:len(setMagic)]) != setMagic {
+		return nil, fmt.Errorf("distsketch: not a sketch set (bad magic)")
+	}
+	if v := head[len(setMagic)]; v != setVersion {
+		return nil, fmt.Errorf("distsketch: unsupported sketch-set version %d (this build reads version %d)", v, setVersion)
+	}
+	br := newByteReader(r)
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("distsketch: reading payload length: %w", err)
+	}
+	const maxPayload = 1<<32 - 1 // sanity cap against corrupt lengths
+	if plen > maxPayload {
+		return nil, fmt.Errorf("distsketch: payload length %d exceeds cap", plen)
+	}
+	// Copy incrementally rather than pre-allocating plen bytes: the
+	// length field is attacker-controlled, and a lying value must cost
+	// only as much memory as data actually arrives.
+	var payloadBuf bytes.Buffer
+	if _, err := io.CopyN(&payloadBuf, br, int64(plen)); err != nil {
+		return nil, fmt.Errorf("distsketch: reading payload: %w", err)
+	}
+	payload := payloadBuf.Bytes()
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("distsketch: reading checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(crc[:]) {
+		return nil, fmt.Errorf("distsketch: sketch-set checksum mismatch")
+	}
+	return parseSetPayload(payload)
+}
+
+func parseSetPayload(payload []byte) (*SketchSet, error) {
+	pr := bytes.NewReader(payload)
+	tag, err := pr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("distsketch: %w", err)
+	}
+	kind := kindOfTag(tag)
+	if kind == "" {
+		return nil, fmt.Errorf("distsketch: unknown sketch kind tag %d", tag)
+	}
+	set := &SketchSet{kind: kind}
+	n, err := getCount(pr, 2) // each sketch blob: length prefix + ≥1 byte
+	if err != nil {
+		return nil, err
+	}
+	if set.cost.Total, err = getStats(pr); err != nil {
+		return nil, err
+	}
+	v, err := getUvarint(pr)
+	if err != nil {
+		return nil, err
+	}
+	set.cost.DataMessages = int64(v)
+	if v, err = getUvarint(pr); err != nil {
+		return nil, err
+	}
+	set.cost.EchoMessages = int64(v)
+	if v, err = getUvarint(pr); err != nil {
+		return nil, err
+	}
+	set.cost.ControlMessages = int64(v)
+	if v, err = getUvarint(pr); err != nil {
+		return nil, err
+	}
+	set.cost.SetupRounds = int(v)
+	phases, err := getCount(pr, 4) // name length + 3 stats uvarints
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < phases; i++ {
+		nameLen, err := getCount(pr, 1)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(pr, name); err != nil {
+			return nil, err
+		}
+		st, err := getStats(pr)
+		if err != nil {
+			return nil, err
+		}
+		set.cost.Phases = append(set.cost.Phases, PhaseCost{Name: string(name), Stats: st})
+	}
+	netLen, err := getCount(pr, 1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < netLen; i++ {
+		u, err := getUvarint(pr)
+		if err != nil {
+			return nil, err
+		}
+		if u >= uint64(n) {
+			return nil, fmt.Errorf("distsketch: net node %d out of range [0,%d)", u, n)
+		}
+		set.net = append(set.net, int(u))
+	}
+	set.sketches = make([]*Sketch, n)
+	for u := 0; u < n; u++ {
+		blobLen, err := getCount(pr, 1)
+		if err != nil {
+			return nil, err
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(pr, blob); err != nil {
+			return nil, err
+		}
+		sk, err := ParseSketch(blob)
+		if err != nil {
+			return nil, fmt.Errorf("distsketch: node %d: %w", u, err)
+		}
+		if sk.Kind() != kind {
+			return nil, fmt.Errorf("distsketch: node %d: sketch kind %s in a %s set", u, sk.Kind(), kind)
+		}
+		if sk.Owner() != u {
+			return nil, fmt.Errorf("distsketch: node %d: sketch owned by %d", u, sk.Owner())
+		}
+		set.sketches[u] = sk
+	}
+	if pr.Len() != 0 {
+		return nil, fmt.Errorf("distsketch: %d trailing payload bytes", pr.Len())
+	}
+	return set, nil
+}
+
+// newByteReader adapts r for binary.ReadUvarint without buffering ahead
+// (a bufio.Reader could consume bytes past the envelope).
+func newByteReader(r io.Reader) *oneByteReader {
+	if br, ok := r.(*oneByteReader); ok {
+		return br
+	}
+	return &oneByteReader{r: r}
+}
+
+type oneByteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *oneByteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *oneByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}

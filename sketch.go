@@ -1,0 +1,91 @@
+package distsketch
+
+import (
+	"fmt"
+
+	"distsketch/internal/sketch"
+)
+
+// Sketch is one node's decoded distance sketch — the first-class value of
+// the paper's query model (Section 2.1): a node ships its sketch as
+// bytes, and the receiver decodes it once with ParseSketch and then
+// answers any number of Estimate calls with no further decoding. This is
+// the fast path for serving heavy query traffic; the package-level
+// Estimate function is the convenience wrapper that re-decodes per call.
+type Sketch struct {
+	kind  Kind
+	label sketch.Label
+}
+
+// kindOfTag maps a wire-format tag byte to its public Kind.
+func kindOfTag(tag byte) Kind {
+	switch tag {
+	case sketch.TagTZ:
+		return KindTZ
+	case sketch.TagLandmark:
+		return KindLandmark
+	case sketch.TagCDG:
+		return KindCDG
+	case sketch.TagGraceful:
+		return KindGraceful
+	default:
+		return ""
+	}
+}
+
+// ParseSketch decodes a serialized sketch into a queryable Sketch value.
+// The input is untrusted (it typically arrives from a remote peer):
+// malformed bytes yield an error, never a panic.
+func ParseSketch(data []byte) (*Sketch, error) {
+	l, err := sketch.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("distsketch: %w", err)
+	}
+	return &Sketch{kind: kindOfTag(sketch.LabelTag(l)), label: l}, nil
+}
+
+// Kind returns the construction this sketch came from.
+func (s *Sketch) Kind() Kind { return s.kind }
+
+// Owner returns the node this sketch describes.
+func (s *Sketch) Owner() int { return s.label.LabelOwner() }
+
+// Words returns the sketch size in O(log n)-bit words, the unit the
+// paper's size bounds use.
+func (s *Sketch) Words() int { return s.label.SizeWords() }
+
+// MarshalBinary serializes the sketch in the wire format ParseSketch
+// accepts. It implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	return sketch.Marshal(s.label), nil
+}
+
+// Estimate computes a distance estimate between this sketch's owner and
+// o's owner from the two sketches alone. The sketches must be of the
+// same kind.
+func (s *Sketch) Estimate(o *Sketch) (Dist, error) {
+	if o == nil {
+		return 0, fmt.Errorf("distsketch: nil sketch")
+	}
+	d, err := sketch.Query(s.label, o.label)
+	if err != nil {
+		return 0, fmt.Errorf("distsketch: %w", err)
+	}
+	return d, nil
+}
+
+// Estimate computes a distance estimate from two serialized sketches of
+// the same kind, without any other state — the paper's query model. It
+// decodes both inputs on every call; callers issuing many queries should
+// ParseSketch once and use Sketch.Estimate instead.
+func Estimate(a, b []byte) (Dist, error) {
+	sa, err := ParseSketch(a)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := ParseSketch(b)
+	if err != nil {
+		return 0, err
+	}
+	return sa.Estimate(sb)
+}
