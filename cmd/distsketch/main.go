@@ -156,10 +156,13 @@ func main() {
 			}
 			u, err1 := strconv.Atoi(parts[0])
 			v, err2 := strconv.Atoi(parts[1])
-			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= set.N() || v >= set.N() {
+			if err1 != nil || err2 != nil {
 				fatal(fmt.Errorf("bad query %q", q))
 			}
-			est := set.Query(u, v)
+			est, err := set.QueryChecked(u, v)
+			if err != nil {
+				fatal(fmt.Errorf("query %q: %w", q, err))
+			}
 			if est == distsketch.Inf {
 				fmt.Printf("d(%d,%d) ≈ ∞ (no common reference in sketches)\n", u, v)
 			} else {
@@ -169,10 +172,10 @@ func main() {
 	}
 
 	if *dump >= 0 {
-		if *dump >= set.N() {
-			fatal(fmt.Errorf("node %d out of range", *dump))
+		blob, err := set.SketchBytesChecked(*dump)
+		if err != nil {
+			fatal(err)
 		}
-		blob := set.SketchBytes(*dump)
 		fmt.Printf("sketch of node %d (%d bytes, %d words):\n%s\n",
 			*dump, len(blob), set.SketchWords(*dump), hex.Dump(blob))
 	}

@@ -2,7 +2,8 @@
 // DESIGN.md §4) and prints their tables — the data behind EXPERIMENTS.md.
 // It also measures the facade's serving hot path: the decode-once query
 // (ParseSketch + Sketch.Estimate) against the byte-level Estimate that
-// re-decodes per call.
+// re-decodes per call, and the HTTP serving layer's throughput
+// (sketchserve single GET /query vs batched POST /query on loopback).
 //
 // Usage:
 //
@@ -20,6 +21,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -27,17 +31,19 @@ import (
 
 	"distsketch"
 	"distsketch/internal/experiments"
+	"distsketch/internal/serve"
 )
 
 // benchReport is the -json output schema.
 type benchReport struct {
-	Scale        string         `json:"scale"`
-	GoVersion    string         `json:"go_version"`
-	GOMAXPROCS   int            `json:"gomaxprocs"`
-	Experiments  []benchRun     `json:"experiments"`
-	QueryPath    []queryPathRun `json:"query_path,omitempty"`
-	TotalSeconds float64        `json:"total_seconds"`
-	OK           bool           `json:"ok"`
+	Scale        string          `json:"scale"`
+	GoVersion    string          `json:"go_version"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Experiments  []benchRun      `json:"experiments"`
+	QueryPath    []queryPathRun  `json:"query_path,omitempty"`
+	ServerPath   []serverPathRun `json:"server_path,omitempty"`
+	TotalSeconds float64         `json:"total_seconds"`
+	OK           bool            `json:"ok"`
 }
 
 // benchRun is one experiment's wall-clock measurement.
@@ -57,11 +63,23 @@ type queryPathRun struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// serverPathRun measures sketchserve's HTTP query throughput for one
+// sketch kind: one estimate per GET /query versus many pairs per
+// batched POST /query (amortizing the per-request handler overhead).
+type serverPathRun struct {
+	Kind       string  `json:"kind"`
+	SingleQPS  float64 `json:"single_queries_per_second"`
+	BatchedQPS float64 `json:"batched_queries_per_second"`
+	BatchSize  int     `json:"batch_size"`
+	Amortize   float64 `json:"batching_speedup"`
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick | full")
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
 	jsonPath := flag.String("json", "", "write per-run wall-clock JSON to this file ('-' for stdout)")
 	queryBench := flag.Bool("querybench", true, "measure the decode-once vs byte-level query path per kind")
+	serveBench := flag.Bool("servebench", true, "measure sketchserve HTTP query throughput (single vs batched)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -114,6 +132,15 @@ func main() {
 		fmt.Printf("%-10s  %14s  %14s  %8s\n", "kind", "decoded ns/q", "bytes ns/q", "speedup")
 		for _, r := range report.QueryPath {
 			fmt.Printf("%-10s  %14.1f  %14.1f  %7.1fx\n", r.Kind, r.DecodedNs, r.ByteLevelNs, r.Speedup)
+		}
+		fmt.Println()
+	}
+	if *serveBench {
+		report.ServerPath = runServeBench()
+		fmt.Println("server path: sketchserve HTTP throughput on 256-node geometric (loopback httptest)")
+		fmt.Printf("%-10s  %14s  %16s  %8s\n", "kind", "single q/s", "batched q/s", "amortize")
+		for _, r := range report.ServerPath {
+			fmt.Printf("%-10s  %14.0f  %16.0f  %7.1fx\n", r.Kind, r.SingleQPS, r.BatchedQPS, r.Amortize)
 		}
 		fmt.Println()
 	}
@@ -193,6 +220,90 @@ func runQueryBench() []queryPathRun {
 			DecodedNs:   float64(decoded.Nanoseconds()) / queries,
 			ByteLevelNs: float64(byteLevel.Nanoseconds()) / queries,
 			Speedup:     float64(byteLevel.Nanoseconds()) / float64(decoded.Nanoseconds()),
+		})
+	}
+	return out
+}
+
+// runServeBench measures the serving layer end to end: a loopback
+// httptest server over a built set, hammered with single GET /query
+// requests and with batched POST /query requests. The gap between the
+// two is the per-request handler overhead batching amortizes away.
+func runServeBench() []serverPathRun {
+	const (
+		n         = 256
+		singleQ   = 3000
+		batchSize = 256
+		batches   = 100
+	)
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, n, 1, 100, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench graph: %v\n", err)
+		os.Exit(1)
+	}
+	pair := func(i int) (int, int) { return i % n, (i*37 + 11) % n }
+	var out []serverPathRun
+	for _, kind := range []distsketch.Kind{distsketch.KindTZ, distsketch.KindLandmark} {
+		set, err := distsketch.Build(g, distsketch.Options{Kind: kind, K: 3, Eps: 0.25, Seed: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		srv, err := serve.New(set, serve.Options{Graph: g})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		client := ts.Client()
+
+		start := time.Now()
+		for i := 0; i < singleQ; i++ {
+			u, v := pair(i)
+			resp, err := client.Get(fmt.Sprintf("%s/query?u=%d&v=%d", ts.URL, u, v))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "servebench %s: %v\n", kind, err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "servebench %s: status %d\n", kind, resp.StatusCode)
+				os.Exit(1)
+			}
+		}
+		singleQPS := float64(singleQ) / time.Since(start).Seconds()
+
+		var body strings.Builder
+		body.WriteString(`{"pairs":[`)
+		for i := 0; i < batchSize; i++ {
+			if i > 0 {
+				body.WriteString(",")
+			}
+			u, v := pair(i)
+			fmt.Fprintf(&body, `{"u":%d,"v":%d}`, u, v)
+		}
+		body.WriteString("]}")
+		start = time.Now()
+		for i := 0; i < batches; i++ {
+			resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body.String()))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "servebench %s: %v\n", kind, err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "servebench %s: status %d\n", kind, resp.StatusCode)
+				os.Exit(1)
+			}
+		}
+		batchedQPS := float64(batchSize*batches) / time.Since(start).Seconds()
+		ts.Close()
+
+		out = append(out, serverPathRun{
+			Kind: string(kind), SingleQPS: singleQPS, BatchedQPS: batchedQPS,
+			BatchSize: batchSize, Amortize: batchedQPS / singleQPS,
 		})
 	}
 	return out

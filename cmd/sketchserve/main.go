@@ -1,0 +1,93 @@
+// sketchserve serves distance queries over HTTP from a persisted sketch
+// set — the paper's query model as a network service: the build happens
+// once (cmd/distsketch -saveset), and this process loads the envelope,
+// keeps every sketch decoded in memory, and answers estimates from the
+// sketches alone.
+//
+// Typical flow:
+//
+//	distsketch -family geometric -n 1024 -kind landmark -eps 0.25 \
+//	    -saveset net.dsk -save net.edges
+//	sketchserve -set net.dsk -graph net.edges -addr :7600
+//
+//	curl 'localhost:7600/query?u=3&v=900'
+//	curl -X POST localhost:7600/query -d '{"pairs":[{"u":0,"v":9},{"u":4,"v":7}]}'
+//	curl -s localhost:7600/sketch/3 | xxd | head
+//	curl localhost:7600/stats
+//	curl -X POST localhost:7600/update-edge -d '{"u":12,"v":80,"weight":3}'
+//
+// -graph is optional; without it the server cannot apply /update-edge
+// repairs (it needs the live topology) but serves queries normally.
+// Note that /update-edge mutates the served set and the server does no
+// authentication: expose it to untrusted clients only behind your own
+// auth or network controls, or omit -graph to run read-only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"distsketch"
+	"distsketch/internal/serve"
+)
+
+func main() {
+	setPath := flag.String("set", "", "sketch-set envelope to serve (required; see distsketch -saveset)")
+	graphPath := flag.String("graph", "", "edge-list topology, enables POST /update-edge")
+	addr := flag.String("addr", ":7600", "listen address")
+	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatch, "max pairs per batched POST /query")
+	flag.Parse()
+
+	if *setPath == "" {
+		fmt.Fprintln(os.Stderr, "sketchserve: -set is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*setPath)
+	if err != nil {
+		log.Fatalf("sketchserve: %v", err)
+	}
+	set, err := distsketch.ReadSketchSet(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("sketchserve: loading %s: %v", *setPath, err)
+	}
+
+	var g *distsketch.Graph
+	if *graphPath != "" {
+		gf, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatalf("sketchserve: %v", err)
+		}
+		g, err = distsketch.ReadGraph(gf)
+		gf.Close()
+		if err != nil {
+			log.Fatalf("sketchserve: loading %s: %v", *graphPath, err)
+		}
+	}
+
+	srv, err := serve.New(set, serve.Options{Graph: g, MaxBatch: *maxBatch})
+	if err != nil {
+		log.Fatalf("sketchserve: %v", err)
+	}
+	log.Printf("sketchserve: serving %s (%d nodes, kind=%s, mean sketch %.1f words) on %s",
+		*setPath, set.N(), set.Kind(), set.MeanSketchWords(), *addr)
+	if g == nil {
+		log.Printf("sketchserve: no -graph given; POST /update-edge disabled")
+	}
+	// Explicit timeouts: a server for untrusted clients must not let a
+	// dribbled request pin a connection forever (slowloris).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}

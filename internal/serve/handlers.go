@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"distsketch"
+)
+
+// Wire types. Status conventions: 400 for input that does not parse
+// (non-integer ids, bad JSON, negative weights), 404 for well-formed ids
+// naming a node or edge that does not exist, 413 for oversized batches,
+// 409 for /update-edge without a loaded topology, and 422 when a repair
+// is impossible (a weight increase that changes distances, a
+// non-landmark kind) and the caller must rebuild instead.
+
+// QueryResult is one estimate in a single or batched query reply.
+type QueryResult struct {
+	U int `json:"u"`
+	V int `json:"v"`
+	// Estimate is null when the two sketches share no common reference
+	// (the in-process query's Inf sentinel) — see Unreachable — or when
+	// Error is set.
+	Estimate    *distsketch.Dist `json:"estimate"`
+	Unreachable bool             `json:"unreachable,omitempty"`
+	// Error reports a per-pair failure inside a batch (out-of-range ids);
+	// the batch as a whole still answers 200.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryPair is one u,v pair of a batched query request.
+type QueryPair struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// BatchRequest is the POST /query body.
+type BatchRequest struct {
+	Pairs []QueryPair `json:"pairs"`
+}
+
+// BatchReply is the POST /query response: one result per request pair,
+// in order.
+type BatchReply struct {
+	Results []QueryResult `json:"results"`
+}
+
+// UpdateRequest is the POST /update-edge body: the new weight of an
+// existing edge {u,v}.
+type UpdateRequest struct {
+	U      int             `json:"u"`
+	V      int             `json:"v"`
+	Weight distsketch.Dist `json:"weight"`
+}
+
+// UpdateReply reports the CONGEST cost of an applied repair.
+type UpdateReply struct {
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+	Words    int64 `json:"words"`
+}
+
+// StatsReply is the GET /stats response.
+type StatsReply struct {
+	Kind             string      `json:"kind"`
+	Nodes            int         `json:"nodes"`
+	MaxSketchWords   int         `json:"max_sketch_words"`
+	MeanSketchWords  float64     `json:"mean_sketch_words"`
+	Cost             CostReply   `json:"cost"`
+	Phases           []CostPhase `json:"phases,omitempty"`
+	QueriesServed    int64       `json:"queries_served"`
+	UpdatesApplied   int64       `json:"updates_applied"`
+	UpdatesSupported bool        `json:"updates_supported"`
+}
+
+// CostReply mirrors distsketch.CostBreakdown's totals in wire casing.
+type CostReply struct {
+	Rounds          int   `json:"rounds"`
+	Messages        int64 `json:"messages"`
+	Words           int64 `json:"words"`
+	DataMessages    int64 `json:"data_messages,omitempty"`
+	EchoMessages    int64 `json:"echo_messages,omitempty"`
+	ControlMessages int64 `json:"control_messages,omitempty"`
+	SetupRounds     int   `json:"setup_rounds,omitempty"`
+}
+
+// CostPhase is one named construction phase's cost.
+type CostPhase struct {
+	Name     string `json:"name"`
+	Rounds   int    `json:"rounds"`
+	Messages int64  `json:"messages"`
+	Words    int64  `json:"words"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding our own reply types cannot fail; a broken connection is
+	// the client's problem.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// queryParam parses a required integer query parameter.
+func queryParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// result formats one checked query outcome as a wire QueryResult.
+func result(u, v int, d distsketch.Dist, err error) QueryResult {
+	res := QueryResult{U: u, V: v}
+	switch {
+	case err != nil:
+		res.Error = err.Error()
+	case d == distsketch.Inf:
+		res.Unreachable = true
+	default:
+		res.Estimate = &d
+	}
+	return res
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	u, err := queryParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := queryParam(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, err := s.cur.Load().set.QueryChecked(u, v)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, distsketch.ErrNodeRange) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, result(u, v, d, nil))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound the bytes read before decoding: the pair cap alone would let
+	// a huge body allocate its whole array first. ~64 bytes covers any
+	// one encoded pair.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*64+1024)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if maxErr := (*http.MaxBytesError)(nil); errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(req.Pairs) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d pairs exceed the %d-pair batch cap", len(req.Pairs), s.maxBatch)
+		return
+	}
+	// One snapshot for the whole batch: every pair is answered from the
+	// same set version even if a repair swaps mid-request.
+	set := s.cur.Load().set
+	reply := BatchReply{Results: make([]QueryResult, len(req.Pairs))}
+	served := int64(0)
+	for i, p := range req.Pairs {
+		d, err := set.QueryChecked(p.U, p.V)
+		reply.Results[i] = result(p.U, p.V, d, err)
+		if err == nil {
+			served++
+		}
+	}
+	// One contended atomic per batch, not per pair — the counter must
+	// not tax the hot path batching exists to amortize.
+	s.queries.Add(served)
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	u, err := strconv.Atoi(r.PathValue("u"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "node id %q is not an integer", r.PathValue("u"))
+		return
+	}
+	set := s.cur.Load().set
+	blob, err := set.SketchBytesChecked(u)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, distsketch.ErrNodeRange) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sketch-Kind", string(set.Kind()))
+	w.Header().Set("X-Sketch-Words", strconv.Itoa(set.SketchWords(u)))
+	w.Write(blob)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	cost := st.set.Cost()
+	reply := StatsReply{
+		Kind:            string(st.set.Kind()),
+		Nodes:           st.set.N(),
+		MaxSketchWords:  st.set.MaxSketchWords(),
+		MeanSketchWords: st.set.MeanSketchWords(),
+		Cost: CostReply{
+			Rounds:          cost.Total.Rounds,
+			Messages:        cost.Total.Messages,
+			Words:           cost.Total.Words,
+			DataMessages:    cost.DataMessages,
+			EchoMessages:    cost.EchoMessages,
+			ControlMessages: cost.ControlMessages,
+			SetupRounds:     cost.SetupRounds,
+		},
+		QueriesServed:    s.queries.Load(),
+		UpdatesApplied:   s.updates.Load(),
+		UpdatesSupported: st.g != nil && st.set.Kind() == distsketch.KindLandmark,
+	}
+	for _, p := range cost.Phases {
+		reply.Phases = append(reply.Phases, CostPhase{
+			Name: p.Name, Rounds: p.Rounds, Messages: p.Messages, Words: p.Words,
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 4096)
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if maxErr := (*http.MaxBytesError)(nil); errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	// Weights below 1 are refused even though the graph model allows 0:
+	// the repair verification's exactness argument needs strictly
+	// positive weights (a zero-weight cycle could mutually support stale
+	// labels and sneak a wrong set past the swap).
+	if req.Weight < 1 || req.Weight >= distsketch.Inf {
+		writeError(w, http.StatusBadRequest, "weight %d outside [1, Inf)", req.Weight)
+		return
+	}
+	// Serialize the whole clone-repair-swap cycle; the topology read must
+	// happen under the lock so back-to-back updates compose.
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	st := s.cur.Load()
+	if st.g == nil {
+		writeError(w, http.StatusConflict, "server holds no topology; restart with a graph to enable /update-edge")
+		return
+	}
+	// Refuse unsupported kinds before paying for the O(m) reweigh and
+	// the set clone — the repair would only discover it at the end.
+	if kind := st.set.Kind(); kind != distsketch.KindLandmark {
+		writeError(w, http.StatusUnprocessableEntity,
+			"incremental repair is not supported for %s sketches (only %s); rebuild instead", kind, distsketch.KindLandmark)
+		return
+	}
+	if req.U < 0 || req.U >= st.g.N() || req.V < 0 || req.V >= st.g.N() {
+		writeError(w, http.StatusNotFound, "node id outside [0,%d)", st.g.N())
+		return
+	}
+	old, ok := st.g.EdgeWeight(req.U, req.V)
+	if !ok {
+		writeError(w, http.StatusNotFound, "edge (%d,%d) not in graph", req.U, req.V)
+		return
+	}
+	if old == req.Weight {
+		// Idempotent retry: the topology the server holds already has
+		// this weight, so the current set is the repaired set and the
+		// clone-repair-verify cycle is skipped. (Like every update path,
+		// this trusts that the startup -graph matched the served set;
+		// a wrong graph file is an operator error no single request can
+		// reliably detect.)
+		writeJSON(w, http.StatusOK, UpdateReply{})
+		return
+	}
+	next, err := reweigh(st.g, req.U, req.V, req.Weight)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Repair a clone off to the side; readers keep hitting the old set
+	// until the swap below. A failed repair leaves them on it for good.
+	setClone := st.set.Clone()
+	stats, err := setClone.UpdateEdge(next, req.U, req.V)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.cur.Store(&state{set: setClone, g: next})
+	s.updates.Add(1)
+	writeJSON(w, http.StatusOK, UpdateReply{
+		Rounds: stats.Rounds, Messages: stats.Messages, Words: stats.Words,
+	})
+}
+
+// reweigh rebuilds g with edge {a,b} set to weight w.
+func reweigh(g *distsketch.Graph, a, b int, wt distsketch.Dist) (*distsketch.Graph, error) {
+	if a > b {
+		a, b = b, a
+	}
+	nb := distsketch.NewGraphBuilder(g.N())
+	for _, e := range g.Edges() {
+		if e.U == a && e.V == b {
+			nb.AddEdge(e.U, e.V, wt)
+		} else {
+			nb.AddEdge(e.U, e.V, e.Weight)
+		}
+	}
+	return nb.Freeze()
+}

@@ -1,0 +1,97 @@
+// Package serve is the HTTP serving shell around a built sketch set —
+// the paper's "millions of users" story made concrete. A process loads a
+// persisted envelope once (distsketch.ReadSketchSet), holds the decoded
+// sketch cache, and answers distance queries from the sketches alone:
+//
+//	GET  /query?u=&v=   one estimate
+//	POST /query         many pairs per request (amortizes handler overhead)
+//	GET  /sketch/{u}    node u's wire bytes, what a peer would request (§2.1)
+//	GET  /stats         construction cost breakdown + sketch-size summary
+//	POST /update-edge   incremental repair behind an atomic set swap
+//
+// All request input is untrusted: node ids are validated with the
+// facade's checked accessors (distsketch.ErrNodeRange), malformed JSON
+// and oversized batches get client errors, and nothing a request
+// carries can panic the process.
+//
+// Concurrency model: the current (set, graph) pair lives behind one
+// atomic.Pointer. Queries load the pointer and read immutable decoded
+// sketches — no locks on the hot path. An update clones the set
+// (O(n) pointer copy; the decoded sketches themselves are shared and
+// never mutated), repairs the clone off to the side, and swaps the
+// pointer only on success, so a query observes either the pre-repair or
+// the post-repair set, never a half-repaired one. Updates serialize
+// among themselves on a mutex.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"distsketch"
+)
+
+// DefaultMaxBatch is the POST /query pair cap when Options.MaxBatch is 0.
+const DefaultMaxBatch = 4096
+
+// Options configures a Server.
+type Options struct {
+	// Graph is the current topology, required for POST /update-edge (the
+	// repair needs the changed graph). Nil disables updates; queries are
+	// unaffected.
+	Graph *distsketch.Graph
+	// MaxBatch caps the pairs accepted per POST /query request (default
+	// DefaultMaxBatch). Larger batches get 413.
+	MaxBatch int
+}
+
+// state is the atomically-swapped unit: the sketch set and the topology
+// it was built (or last repaired) against always travel together.
+type state struct {
+	set *distsketch.SketchSet
+	g   *distsketch.Graph
+}
+
+// Server answers distance queries from a sketch set. Create one with New
+// and mount Handler on an http.Server. All methods are safe for
+// concurrent use.
+type Server struct {
+	cur      atomic.Pointer[state]
+	updateMu sync.Mutex // serializes /update-edge clone-repair-swap cycles
+	maxBatch int
+	queries  atomic.Int64 // estimates served (single + batched)
+	updates  atomic.Int64 // repairs applied
+}
+
+// New creates a server over a built (typically reloaded) sketch set.
+func New(set *distsketch.SketchSet, opts Options) (*Server, error) {
+	if set == nil || set.N() == 0 {
+		return nil, fmt.Errorf("serve: empty sketch set")
+	}
+	if opts.Graph != nil && opts.Graph.N() != set.N() {
+		return nil, fmt.Errorf("serve: graph has %d nodes, sketch set has %d", opts.Graph.N(), set.N())
+	}
+	s := &Server{maxBatch: opts.MaxBatch}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	s.cur.Store(&state{set: set, g: opts.Graph})
+	return s, nil
+}
+
+// Set returns the currently served sketch set (the latest swapped-in
+// snapshot; an in-flight repair is not visible until it commits).
+func (s *Server) Set() *distsketch.SketchSet { return s.cur.Load().set }
+
+// Handler returns the route table. Method mismatches answer 405.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /query", s.handleBatch)
+	mux.HandleFunc("GET /sketch/{u}", s.handleSketch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /update-edge", s.handleUpdateEdge)
+	return mux
+}

@@ -1,0 +1,430 @@
+package serve
+
+// httptest coverage for every endpoint, including the malformed inputs a
+// public server must survive: non-integer and out-of-range node ids, bad
+// JSON, oversized batches, updates without a topology, and weight
+// increases the repair protocol cannot handle. Nothing here may panic —
+// a handler panic fails the test via the httptest server.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distsketch"
+)
+
+// buildSet constructs a small landmark set and its topology for serving
+// tests. Landmark is the kind with full serving coverage (it alone
+// supports /update-edge repairs).
+func buildSet(t *testing.T) (*distsketch.SketchSet, *distsketch.Graph) {
+	t.Helper()
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 64, 10, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := distsketch.Build(g, distsketch.Options{Kind: distsketch.KindLandmark, Eps: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, g
+}
+
+func newTestServer(t *testing.T, set *distsketch.SketchSet, opts Options) *httptest.Server {
+	t.Helper()
+	srv, err := New(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getJSON issues a GET and decodes the reply, returning the status code.
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("POST %s: decoding body: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	set, g := buildSet(t)
+	ts := newTestServer(t, set, Options{Graph: g})
+	for _, pair := range [][2]int{{0, 63}, {5, 40}, {17, 17}, {63, 0}} {
+		var res QueryResult
+		url := fmt.Sprintf("%s/query?u=%d&v=%d", ts.URL, pair[0], pair[1])
+		if code := getJSON(t, url, &res); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		want := set.Query(pair[0], pair[1])
+		if res.Estimate == nil || *res.Estimate != want {
+			t.Errorf("query (%d,%d): got %v, want %d", pair[0], pair[1], res.Estimate, want)
+		}
+		if res.U != pair[0] || res.V != pair[1] || res.Unreachable || res.Error != "" {
+			t.Errorf("query (%d,%d): malformed echo %+v", pair[0], pair[1], res)
+		}
+	}
+}
+
+func TestQueryMalformed(t *testing.T) {
+	set, _ := buildSet(t)
+	ts := newTestServer(t, set, Options{})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/query", http.StatusBadRequest},              // both params missing
+		{"/query?u=3", http.StatusBadRequest},          // v missing
+		{"/query?u=3&v=banana", http.StatusBadRequest}, // non-integer
+		{"/query?u=3.5&v=4", http.StatusBadRequest},    // non-integer
+		{"/query?u=-1&v=4", http.StatusNotFound},       // below range
+		{"/query?u=3&v=64", http.StatusNotFound},       // above range
+		{"/query?u=3&v=99999999", http.StatusNotFound}, // far above range
+		{"/nosuchendpoint", http.StatusNotFound},       // unrouted
+	}
+	for _, c := range cases {
+		var er struct {
+			Error string `json:"error"`
+		}
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s: status %d, want %d (body %q)", c.path, resp.StatusCode, c.want, body)
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			if json.Unmarshal(body, &er) != nil || er.Error == "" {
+				t.Errorf("GET %s: expected a JSON error body, got %q", c.path, body)
+			}
+		}
+	}
+	// Wrong method on a routed pattern.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query?u=1&v=2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	set, _ := buildSet(t)
+	ts := newTestServer(t, set, Options{})
+	body := `{"pairs":[{"u":0,"v":63},{"u":12,"v":12},{"u":-5,"v":3},{"u":3,"v":1000},{"u":40,"v":9}]}`
+	var reply BatchReply
+	if code := postJSON(t, ts.URL+"/query", body, &reply); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(reply.Results) != 5 {
+		t.Fatalf("batch: %d results, want 5", len(reply.Results))
+	}
+	for i, pair := range [][2]int{{0, 63}, {12, 12}, {-1, -1}, {-1, -1}, {40, 9}} {
+		res := reply.Results[i]
+		if pair[0] < 0 { // the out-of-range entries
+			if res.Error == "" || res.Estimate != nil {
+				t.Errorf("batch[%d]: expected per-entry error, got %+v", i, res)
+			}
+			continue
+		}
+		want := set.Query(pair[0], pair[1])
+		if res.Error != "" || res.Estimate == nil || *res.Estimate != want {
+			t.Errorf("batch[%d]: got %+v, want estimate %d", i, res, want)
+		}
+	}
+}
+
+func TestBatchMalformed(t *testing.T) {
+	set, _ := buildSet(t)
+	ts := newTestServer(t, set, Options{MaxBatch: 3})
+	if code := postJSON(t, ts.URL+"/query", `{"pairs":`, nil); code != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/query", `not json at all`, nil); code != http.StatusBadRequest {
+		t.Errorf("non-JSON: status %d, want 400", code)
+	}
+	over := `{"pairs":[{"u":0,"v":1},{"u":0,"v":2},{"u":0,"v":3},{"u":0,"v":4}]}`
+	if code := postJSON(t, ts.URL+"/query", over, nil); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", code)
+	}
+	// A body past the byte cap is cut off before it is ever decoded.
+	var huge strings.Builder
+	huge.WriteString(`{"pairs":[`)
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			huge.WriteString(",")
+		}
+		fmt.Fprintf(&huge, `{"u":%d,"v":%d}`, i, i+1)
+	}
+	huge.WriteString("]}")
+	if code := postJSON(t, ts.URL+"/query", huge.String(), nil); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", code)
+	}
+	var reply BatchReply
+	if code := postJSON(t, ts.URL+"/query", `{"pairs":[]}`, &reply); code != http.StatusOK || len(reply.Results) != 0 {
+		t.Errorf("empty batch: status %d results %d, want 200 with 0", code, len(reply.Results))
+	}
+}
+
+func TestSketchEndpoint(t *testing.T) {
+	set, _ := buildSet(t)
+	ts := newTestServer(t, set, Options{})
+	resp, err := http.Get(ts.URL + "/sketch/13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /sketch/13: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(blob, set.SketchBytes(13)) {
+		t.Error("served sketch bytes differ from SketchBytes(13)")
+	}
+	if got := resp.Header.Get("X-Sketch-Kind"); got != string(set.Kind()) {
+		t.Errorf("X-Sketch-Kind = %q, want %q", got, set.Kind())
+	}
+	// The wire bytes must round-trip through the peer-side decode path.
+	sk, err := distsketch.ParseSketch(blob)
+	if err != nil {
+		t.Fatalf("ParseSketch on served bytes: %v", err)
+	}
+	if sk.Owner() != 13 {
+		t.Errorf("served sketch owner %d, want 13", sk.Owner())
+	}
+
+	for path, want := range map[string]int{
+		"/sketch/banana": http.StatusBadRequest,
+		"/sketch/-1":     http.StatusNotFound,
+		"/sketch/64":     http.StatusNotFound,
+		"/sketch/":       http.StatusNotFound, // empty wildcard: unrouted
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	set, g := buildSet(t)
+	ts := newTestServer(t, set, Options{Graph: g})
+	var before StatsReply
+	if code := getJSON(t, ts.URL+"/stats", &before); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if before.Kind != string(set.Kind()) || before.Nodes != set.N() {
+		t.Errorf("stats identity: %+v", before)
+	}
+	if before.MaxSketchWords != set.MaxSketchWords() || before.MeanSketchWords != set.MeanSketchWords() {
+		t.Errorf("stats sizes: got (%d, %g), want (%d, %g)",
+			before.MaxSketchWords, before.MeanSketchWords, set.MaxSketchWords(), set.MeanSketchWords())
+	}
+	if before.Cost.Rounds != set.Rounds() || before.Cost.Messages != set.Messages() {
+		t.Errorf("stats cost: %+v", before.Cost)
+	}
+	if !before.UpdatesSupported {
+		t.Error("landmark set with graph should report updates_supported")
+	}
+	// The served-queries counter must move with traffic.
+	getJSON(t, ts.URL+"/query?u=1&v=2", nil)
+	getJSON(t, ts.URL+"/query?u=3&v=4", nil)
+	var after StatsReply
+	getJSON(t, ts.URL+"/stats", &after)
+	if after.QueriesServed != before.QueriesServed+2 {
+		t.Errorf("queries_served %d -> %d, want +2", before.QueriesServed, after.QueriesServed)
+	}
+
+	noGraph := newTestServer(t, set, Options{})
+	var ng StatsReply
+	getJSON(t, noGraph.URL+"/stats", &ng)
+	if ng.UpdatesSupported {
+		t.Error("server without a graph must not report updates_supported")
+	}
+}
+
+func TestUpdateEdgeEndpoint(t *testing.T) {
+	set, g := buildSet(t)
+	ts := newTestServer(t, set, Options{Graph: g})
+	e := g.Edges()[0]
+	if e.Weight < 2 {
+		t.Fatalf("test graph edge %v too light to decrease", e)
+	}
+
+	// A decrease must apply, and the served estimates must be
+	// byte-identical to an in-process repair of the same edge.
+	expect := set.Clone()
+	g2, err := reweigh(g, e.U, e.V, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats, err := expect.UpdateEdge(g2, e.U, e.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep UpdateReply
+	body := fmt.Sprintf(`{"u":%d,"v":%d,"weight":1}`, e.U, e.V)
+	if code := postJSON(t, ts.URL+"/update-edge", body, &rep); code != http.StatusOK {
+		t.Fatalf("update-edge decrease: status %d", code)
+	}
+	if rep.Messages != wantStats.Messages || rep.Rounds != wantStats.Rounds {
+		t.Errorf("repair stats: got %+v, want %+v", rep, wantStats)
+	}
+	for _, pair := range [][2]int{{0, 63}, {e.U, e.V}, {9, 44}} {
+		var res QueryResult
+		getJSON(t, fmt.Sprintf("%s/query?u=%d&v=%d", ts.URL, pair[0], pair[1]), &res)
+		want := expect.Query(pair[0], pair[1])
+		if res.Estimate == nil || *res.Estimate != want {
+			t.Errorf("post-repair query (%d,%d): got %v, want %d", pair[0], pair[1], res.Estimate, want)
+		}
+	}
+	var st StatsReply
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.UpdatesApplied != 1 {
+		t.Errorf("updates_applied = %d, want 1", st.UpdatesApplied)
+	}
+
+	// An idempotent retry (same weight again) is a free 200 no-op.
+	var noop UpdateReply
+	if code := postJSON(t, ts.URL+"/update-edge", body, &noop); code != http.StatusOK {
+		t.Fatalf("update-edge no-op retry: status %d", code)
+	}
+	if noop.Messages != 0 || noop.Rounds != 0 {
+		t.Errorf("no-op retry should cost nothing, got %+v", noop)
+	}
+
+	// A weight increase must be refused (422) and leave the served set
+	// untouched.
+	before := map[[2]int]distsketch.Dist{}
+	for _, pair := range [][2]int{{0, 63}, {9, 44}} {
+		before[pair] = expect.Query(pair[0], pair[1])
+	}
+	body = fmt.Sprintf(`{"u":%d,"v":%d,"weight":%d}`, e.U, e.V, e.Weight*100)
+	var er struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/update-edge", body, &er); code != http.StatusUnprocessableEntity {
+		t.Fatalf("update-edge increase: status %d, want 422 (%+v)", code, er)
+	}
+	if !strings.Contains(er.Error, "rebuild") {
+		t.Errorf("increase error should direct the caller to rebuild: %q", er.Error)
+	}
+	for pair, want := range before {
+		var res QueryResult
+		getJSON(t, fmt.Sprintf("%s/query?u=%d&v=%d", ts.URL, pair[0], pair[1]), &res)
+		if res.Estimate == nil || *res.Estimate != want {
+			t.Errorf("estimate (%d,%d) changed after refused increase: got %v, want %d",
+				pair[0], pair[1], res.Estimate, want)
+		}
+	}
+}
+
+func TestUpdateEdgeMalformed(t *testing.T) {
+	set, g := buildSet(t)
+	ts := newTestServer(t, set, Options{Graph: g})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"u":0,"v":`, http.StatusBadRequest},               // truncated JSON
+		{`{"u":0,"v":1,"weight":-3}`, http.StatusBadRequest}, // negative weight
+		{`{"u":0,"v":1,"weight":0}`, http.StatusBadRequest},  // zero weight (verification needs > 0)
+		{`{"u":-1,"v":1,"weight":3}`, http.StatusNotFound},   // node below range
+		{`{"u":0,"v":64,"weight":3}`, http.StatusNotFound},   // node above range
+		{`{"u":0,"v":0,"weight":3}`, http.StatusNotFound},    // self-loop: no such edge
+	}
+	// {0, x} for a non-neighbor x: find one.
+	nonNeighbor := -1
+	for v := 1; v < g.N(); v++ {
+		if !g.HasEdge(0, v) {
+			nonNeighbor = v
+			break
+		}
+	}
+	if nonNeighbor >= 0 {
+		cases = append(cases, struct {
+			body string
+			want int
+		}{fmt.Sprintf(`{"u":0,"v":%d,"weight":3}`, nonNeighbor), http.StatusNotFound})
+	}
+	for _, c := range cases {
+		if code := postJSON(t, ts.URL+"/update-edge", c.body, nil); code != c.want {
+			t.Errorf("update-edge %q: status %d, want %d", c.body, code, c.want)
+		}
+	}
+
+	// Without a topology the endpoint is a 409, not a crash.
+	noGraph := newTestServer(t, set, Options{})
+	if code := postJSON(t, noGraph.URL+"/update-edge", `{"u":0,"v":1,"weight":1}`, nil); code != http.StatusConflict {
+		t.Errorf("update-edge without graph: status %d, want 409", code)
+	}
+
+	// Non-landmark kinds cannot repair: 422 directing to rebuild.
+	g2, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 32, 1, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tzSet, err := distsketch.Build(g2, distsketch.Options{Kind: distsketch.KindTZ, K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g2.Edges()[0]
+	tzServer := newTestServer(t, tzSet, Options{Graph: g2})
+	body := fmt.Sprintf(`{"u":%d,"v":%d,"weight":%d}`, e.U, e.V, e.Weight)
+	if code := postJSON(t, tzServer.URL+"/update-edge", body, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("update-edge on tz set: status %d, want 422", code)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("New(nil) should fail")
+	}
+	set, _ := buildSet(t)
+	other, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyRing, 10, 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(set, Options{Graph: other}); err == nil {
+		t.Error("New with mismatched graph size should fail")
+	}
+}

@@ -3,6 +3,7 @@ package distsketch
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,19 @@ import (
 	"distsketch/internal/core"
 	"distsketch/internal/sketch"
 )
+
+// ErrNodeRange reports a node id outside a set's [0, N()) range. The
+// checked accessors (QueryChecked, SketchChecked, SketchBytesChecked)
+// wrap it, so servers validating untrusted request input can match it
+// with errors.Is and answer with a client error instead of crashing.
+var ErrNodeRange = errors.New("node id out of range")
+
+// ErrRebuildRequired reports that an incremental repair cannot restore
+// exact labels — typically because the changed edge's weight increased,
+// which invalidates the warm-start upper bounds — and the set must be
+// rebuilt from scratch with Build. UpdateEdge wraps it; the set is left
+// unchanged when it is returned.
+var ErrRebuildRequired = errors.New("incremental repair cannot restore exact labels; rebuild the sketch set")
 
 // Stats is the CONGEST cost of a construction, one of its phases, or an
 // incremental repair: synchronous rounds executed, messages delivered,
@@ -81,11 +95,34 @@ func (s *SketchSet) Kind() Kind { return s.kind }
 func (s *SketchSet) N() int { return len(s.sketches) }
 
 // Sketch returns node u's decoded sketch. The returned value shares
-// state with the set; treat it as read-only.
+// state with the set; treat it as read-only. It panics if u is out of
+// range; callers handling untrusted ids use SketchChecked.
 func (s *SketchSet) Sketch(u int) *Sketch { return s.sketches[u] }
 
+// checkNode validates a node id against the set's range, wrapping
+// ErrNodeRange so callers can classify the failure.
+func (s *SketchSet) checkNode(u int) error {
+	if u < 0 || u >= len(s.sketches) {
+		return fmt.Errorf("distsketch: node %d outside [0,%d): %w", u, len(s.sketches), ErrNodeRange)
+	}
+	return nil
+}
+
+// SketchChecked is Sketch with bounds checking: an out-of-range node id
+// yields an error wrapping ErrNodeRange instead of a panic. This is the
+// variant for ids arriving from untrusted input (network requests,
+// command lines).
+func (s *SketchSet) SketchChecked(u int) (*Sketch, error) {
+	if err := s.checkNode(u); err != nil {
+		return nil, err
+	}
+	return s.sketches[u], nil
+}
+
 // Query estimates the distance between u and v from their two sketches
-// alone, on the decode-once path (no per-query unmarshaling).
+// alone, on the decode-once path (no per-query unmarshaling). It panics
+// if either id is out of range; callers handling untrusted ids use
+// QueryChecked.
 func (s *SketchSet) Query(u, v int) Dist {
 	d, err := sketch.Query(s.sketches[u].label, s.sketches[v].label)
 	if err != nil {
@@ -95,9 +132,37 @@ func (s *SketchSet) Query(u, v int) Dist {
 	return d
 }
 
+// QueryChecked is Query with bounds checking: an out-of-range node id
+// yields an error wrapping ErrNodeRange instead of a panic, so a server
+// can answer a malformed request without dying.
+func (s *SketchSet) QueryChecked(u, v int) (Dist, error) {
+	if err := s.checkNode(u); err != nil {
+		return 0, err
+	}
+	if err := s.checkNode(v); err != nil {
+		return 0, err
+	}
+	d, err := sketch.Query(s.sketches[u].label, s.sketches[v].label)
+	if err != nil {
+		return 0, fmt.Errorf("distsketch: %w", err)
+	}
+	return d, nil
+}
+
 // SketchBytes returns node u's serialized sketch (what u would hand to a
-// peer that asks for it; Section 2.1 of the paper).
+// peer that asks for it; Section 2.1 of the paper). It panics if u is
+// out of range; callers handling untrusted ids use SketchBytesChecked.
 func (s *SketchSet) SketchBytes(u int) []byte { return sketch.Marshal(s.sketches[u].label) }
+
+// SketchBytesChecked is SketchBytes with bounds checking: an
+// out-of-range node id yields an error wrapping ErrNodeRange instead of
+// a panic.
+func (s *SketchSet) SketchBytesChecked(u int) ([]byte, error) {
+	if err := s.checkNode(u); err != nil {
+		return nil, err
+	}
+	return sketch.Marshal(s.sketches[u].label), nil
+}
 
 // SketchWords returns node u's sketch size in O(log n)-bit words.
 func (s *SketchSet) SketchWords(u int) int { return s.sketches[u].Words() }
@@ -113,13 +178,31 @@ func (s *SketchSet) MaxSketchWords() int {
 	return m
 }
 
-// MeanSketchWords returns the average sketch size in words.
+// MeanSketchWords returns the average sketch size in words, or 0 for an
+// empty set.
 func (s *SketchSet) MeanSketchWords() float64 {
+	if len(s.sketches) == 0 {
+		return 0
+	}
 	t := 0
 	for _, sk := range s.sketches {
 		t += sk.Words()
 	}
 	return float64(t) / float64(len(s.sketches))
+}
+
+// Clone returns an independent copy of the set that shares the decoded
+// (immutable) sketch values. A later UpdateEdge on either copy replaces
+// sketches rather than mutating them, so the other copy is unaffected —
+// this is the O(n) primitive behind copy-on-write serving: repair a
+// clone off to the side, then atomically swap it in while readers keep
+// querying the original.
+func (s *SketchSet) Clone() *SketchSet {
+	c := *s
+	c.sketches = append([]*Sketch(nil), s.sketches...)
+	c.net = append([]int(nil), s.net...)
+	c.cost.Phases = append([]PhaseCost(nil), s.cost.Phases...)
+	return &c
 }
 
 // Cost returns the full CONGEST cost breakdown of the construction,
@@ -153,6 +236,14 @@ func (s *SketchSet) Words() int64 { return s.cost.Total.Words }
 // Repair is currently implemented for KindLandmark (whose labels are
 // exact distances to the density net, so decreases admit an exact
 // warm-start fix). Other kinds return an error and must rebuild.
+//
+// The warm-start protocol is only exact when the changed weight
+// *decreased*: the old labels are then entrywise upper bounds that
+// relaxation drives down to the new exact distances. A weight increase
+// breaks that invariant, so after the repair UpdateEdge verifies the
+// result against g (a local Bellman–Ford fixed-point check, no
+// messages); if the repaired labels are not the exact new distances the
+// set is left unchanged and the error wraps ErrRebuildRequired.
 func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 	if s.kind != KindLandmark {
 		return Stats{}, fmt.Errorf("distsketch: incremental repair is not supported for %s sketches (only %s); rebuild instead", s.kind, KindLandmark)
@@ -160,6 +251,22 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 	n := len(s.sketches)
 	if g.N() != n {
 		return Stats{}, fmt.Errorf("distsketch: graph has %d nodes, set has %d", g.N(), n)
+	}
+	if err := s.checkNode(a); err != nil {
+		return Stats{}, err
+	}
+	if err := s.checkNode(b); err != nil {
+		return Stats{}, err
+	}
+	// The post-repair exactness verification is unsound with zero-weight
+	// edges (a zero-weight cycle could mutually support stale labels), so
+	// such graphs are refused up front, before any repair work is paid.
+	// Deliberately not ErrRebuildRequired: rebuilding cannot make this
+	// graph repairable, so the sentinel's remedy would mislead.
+	for _, e := range g.Edges() {
+		if e.Weight == 0 {
+			return Stats{}, fmt.Errorf("distsketch: graph has zero-weight edge (%d,%d); incremental repair requires strictly positive weights", e.U, e.V)
+		}
 	}
 	// core.UpdateLandmark consumes and mutates the labels it is given;
 	// repair clones so a mid-run failure cannot leave the live set
@@ -177,6 +284,13 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 	upd, err := core.UpdateLandmark(g, prev, a, b, congest.Config{})
 	if err != nil {
 		return Stats{}, fmt.Errorf("distsketch: %w", err)
+	}
+	// A weight increase leaves the warm-started labels below the true new
+	// distances — silently wrong estimates. Verify exactness before
+	// swapping; the clones above guarantee the live set is untouched on
+	// failure.
+	if verr := core.VerifyLandmarkExact(g, upd.Labels, s.net); verr != nil {
+		return Stats{}, fmt.Errorf("distsketch: repair of edge (%d,%d) did not converge to exact labels (%v); the weight likely increased, which warm-start repair cannot handle: %w", a, b, verr, ErrRebuildRequired)
 	}
 	for u := range s.sketches {
 		s.sketches[u] = &Sketch{kind: KindLandmark, label: upd.Labels[u]}
@@ -316,6 +430,8 @@ func getStats(r *bytes.Reader) (Stats, error) {
 // validated end to end: envelope version, payload checksum, and every
 // node's sketch (kind and owner must match its slot), so a corrupt or
 // truncated file yields an error, never a panic or a silently wrong set.
+// An envelope holding zero sketches is rejected too — every query
+// against such a set would be out of range.
 func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 	head := make([]byte, len(setMagic)+1)
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -368,6 +484,11 @@ func parseSetPayload(payload []byte) (*SketchSet, error) {
 	n, err := getCount(pr, 2) // each sketch blob: length prefix + ≥1 byte
 	if err != nil {
 		return nil, err
+	}
+	if n == 0 {
+		// A zero-node set cannot answer any query; refuse to construct it
+		// rather than hand back a value whose every accessor is a trap.
+		return nil, fmt.Errorf("distsketch: envelope holds no sketches")
 	}
 	if set.cost.Total, err = getStats(pr); err != nil {
 		return nil, err
