@@ -393,44 +393,50 @@ func BenchmarkBuildPublicAPI(b *testing.B) {
 
 // BenchmarkQueryPath compares the decode-once query path (Sketch.Estimate
 // over pre-parsed sketches) against the byte-level Estimate that
-// re-unmarshals both sketches on every call, on TZ sketches. The gap is
-// the per-query cost the first-class Sketch redesign removes from the
-// serving hot path (target: decoded ≥ 5× faster).
+// re-unmarshals both sketches on every call, for every sketch kind. The
+// decoded ns/op is the serving hot path's per-query latency — for
+// landmark sketches it is the two-pointer merge-intersection over the
+// sorted entry slices (zero allocations; formerly an O(|N|) map probe
+// and the single visible serving bottleneck).
 func BenchmarkQueryPath(b *testing.B) {
 	g, err := NewRandomWeightedGraph(FamilyER, 128, 1, 50, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	set, err := Build(g, Options{Kind: KindTZ, K: 3, Seed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
 	n := g.N()
-	blobs := make([][]byte, n)
-	parsed := make([]*Sketch, n)
-	for u := 0; u < n; u++ {
-		blobs[u] = set.SketchBytes(u)
-		parsed[u], err = ParseSketch(blobs[u])
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		b.Run(string(kind), func(b *testing.B) {
+			set, err := Build(g, Options{Kind: kind, K: 3, Eps: 0.25, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			blobs := make([][]byte, n)
+			parsed := make([]*Sketch, n)
+			for u := 0; u < n; u++ {
+				blobs[u] = set.SketchBytes(u)
+				parsed[u], err = ParseSketch(blobs[u])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run("decoded", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := parsed[i%n].Estimate(parsed[(i*37+11)%n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("bytes", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Estimate(blobs[i%n], blobs[(i*37+11)%n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
-	b.Run("decoded", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := parsed[i%n].Estimate(parsed[(i*37+11)%n]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("bytes", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := Estimate(blobs[i%n], blobs[(i*37+11)%n]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 }
 
 // BenchmarkEstimateSerialized measures the full serialized query path.

@@ -105,14 +105,19 @@ func BuildLandmark(g *graph.Graph, opt SlackOptions) (*LandmarkResult, error) {
 	out := &LandmarkResult{Net: net, Cost: res.Cost}
 	out.Labels = make([]*sketch.LandmarkLabel, n)
 	for u := 0; u < n; u++ {
-		lab := sketch.NewLandmarkLabel(u)
+		// The bunch map iterates in random order; collect entries and
+		// canonicalize once rather than paying a sorted insert per entry.
+		entries := make([]sketch.Entry, 0, len(res.Labels[u].Bunch)+1)
 		for w, e := range res.Labels[u].Bunch {
-			lab.Dists[w] = e.Dist
+			if levels[u] == 0 && w == u {
+				continue // the net node's own entry is pinned to 0 below
+			}
+			entries = append(entries, sketch.Entry{Net: w, D: e.Dist})
 		}
 		if levels[u] == 0 {
-			lab.Dists[u] = 0
+			entries = append(entries, sketch.Entry{Net: u, D: 0})
 		}
-		out.Labels[u] = lab
+		out.Labels[u] = sketch.NewLandmarkLabelFromEntries(u, entries)
 	}
 	return out, nil
 }

@@ -33,12 +33,14 @@ func TestLandmarkMatchesCentralized(t *testing.T) {
 	}
 	for u := 0; u < g.N(); u++ {
 		a, b := dist.Labels[u], cent[u]
-		if len(a.Dists) != len(b.Dists) {
-			t.Fatalf("node %d: %d landmark entries vs %d", u, len(a.Dists), len(b.Dists))
+		if a.Len() != b.Len() {
+			t.Fatalf("node %d: %d landmark entries vs %d", u, a.Len(), b.Len())
 		}
-		for w, d := range b.Dists {
-			if a.Dists[w] != d {
-				t.Fatalf("node %d landmark %d: %d vs %d", u, w, a.Dists[w], d)
+		// Both sides are canonical (sorted, unique), so equality is
+		// positional.
+		for i, e := range b.Entries {
+			if a.Entries[i] != e {
+				t.Fatalf("node %d entry %d: %+v vs %+v", u, i, a.Entries[i], e)
 			}
 		}
 	}

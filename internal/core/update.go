@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"distsketch/internal/congest"
 	"distsketch/internal/graph"
@@ -32,10 +33,14 @@ import (
 // they require the full rebuild, matching the classic asymmetry of
 // dynamic shortest-path maintenance.
 
-// updateNode runs the warm-start repair for one node.
+// updateNode runs the warm-start repair for one node. The previous label
+// is read-only; improvements accumulate in a private delta map, so a run
+// that errors or is canceled mid-repair leaves the caller's labels
+// untouched (and the final merge pays only for entries that changed).
 type updateNode struct {
-	id   int
-	best map[int]graph.Dist // warm-started landmark entries
+	id    int
+	base  *sketch.LandmarkLabel // previous label, never mutated
+	delta map[int]graph.Dist    // improvements discovered during repair
 
 	endpointFor int // neighbor index of the changed edge's other end; -1
 	toStream    []srcDist
@@ -50,6 +55,16 @@ type streamMsg struct {
 }
 
 func (streamMsg) Words() int { return 2 }
+
+// dist returns the node's current best distance to net node src: the
+// repair improvement if one exists, the warm-started label entry
+// otherwise.
+func (nd *updateNode) dist(src int) (graph.Dist, bool) {
+	if d, ok := nd.delta[src]; ok {
+		return d, true
+	}
+	return nd.base.Get(src)
+}
 
 func (nd *updateNode) Init(ctx *congest.Context) {
 	deg := ctx.Degree()
@@ -68,8 +83,8 @@ func (nd *updateNode) Round(ctx *congest.Context, inbox []congest.Incoming) {
 		m := in.Payload.(streamMsg)
 		w := ctx.NeighborIndex(in.From)
 		d := graph.AddDist(m.Dist, ctx.WeightTo(w))
-		if cur, ok := nd.best[m.Src]; !ok || d < cur {
-			nd.best[m.Src] = d
+		if cur, ok := nd.dist(m.Src); !ok || d < cur {
+			nd.delta[m.Src] = d
 			nd.enqueueAll(m.Src)
 		}
 	}
@@ -106,7 +121,8 @@ func (nd *updateNode) drain(ctx *congest.Context) {
 		copy(nd.fifo[i], nd.fifo[i][1:])
 		nd.fifo[i] = nd.fifo[i][:len(nd.fifo[i])-1]
 		delete(nd.inFifo[i], src)
-		ctx.Send(i, streamMsg{Src: src, Dist: nd.best[src]})
+		d, _ := nd.dist(src)
+		ctx.Send(i, streamMsg{Src: src, Dist: d})
 		if len(nd.fifo[i]) > 0 || (i == nd.endpointFor && len(nd.toStream) > 0) {
 			pending = true
 		}
@@ -116,10 +132,59 @@ func (nd *updateNode) drain(ctx *congest.Context) {
 	}
 }
 
+// changedArcIndex returns the adjacency index of the minimum-weight arc
+// from arcs to other, or -1 if none exists. On graphs with parallel arcs
+// to the same neighbor the endpoint must stream across the lightest one:
+// the warm-start argument relaxes the *changed* (now lightest) edge, and
+// streaming across a heavier parallel arc could fail to improve anything,
+// leaving the light arc's fixed-point violation unrepaired. (graph.Builder
+// canonicalizes parallel edges away today, so this guards future
+// ingestion paths that do not.)
+func changedArcIndex(arcs []graph.Arc, other int) int {
+	idx := -1
+	for i, arc := range arcs {
+		if arc.To == other && (idx < 0 || arc.Weight < arcs[idx].Weight) {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// mergeLabel returns a fresh label combining the (sorted, unique) base
+// entries with the repair improvements in delta. The base is not
+// modified; unchanged entries are copied.
+func mergeLabel(base *sketch.LandmarkLabel, delta map[int]graph.Dist) *sketch.LandmarkLabel {
+	keys := make([]int, 0, len(delta))
+	for w := range delta {
+		keys = append(keys, w)
+	}
+	sort.Ints(keys)
+	out := &sketch.LandmarkLabel{
+		Owner:   base.Owner,
+		Entries: make([]sketch.Entry, 0, len(base.Entries)+len(delta)),
+	}
+	i := 0
+	for _, w := range keys {
+		for i < len(base.Entries) && base.Entries[i].Net < w {
+			out.Entries = append(out.Entries, base.Entries[i])
+			i++
+		}
+		if i < len(base.Entries) && base.Entries[i].Net == w {
+			i++
+		}
+		out.Entries = append(out.Entries, sketch.Entry{Net: w, D: delta[w]})
+	}
+	out.Entries = append(out.Entries, base.Entries[i:]...)
+	return out
+}
+
 // UpdateLandmark repairs landmark labels after the weight of edge {a,b}
 // decreased. g must be the *new* topology (same node set and edges, the
-// one changed weight). prev is consumed: the returned result reuses and
-// mutates its label maps.
+// one changed weight). prev is read-only: the repair accumulates
+// improvements in fresh storage and merges them into new labels only on
+// success, so an engine error or context cancellation mid-repair leaves
+// the caller's labels exactly as they were. Labels the repair did not
+// improve are shared (pointer-identical) with prev in the result.
 func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.Config) (*LandmarkResult, error) {
 	n := g.N()
 	if len(prev.Labels) != n {
@@ -131,21 +196,15 @@ func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.
 	nodes := make([]congest.Node, n)
 	uns := make([]*updateNode, n)
 	for u := 0; u < n; u++ {
-		un := &updateNode{id: u, best: prev.Labels[u].Dists, endpointFor: -1}
+		un := &updateNode{id: u, base: prev.Labels[u], delta: make(map[int]graph.Dist), endpointFor: -1}
 		if u == a || u == b {
 			other := b
 			if u == b {
 				other = a
 			}
-			idx := -1
-			for i, arc := range g.Adj(u) {
-				if arc.To == other {
-					idx = i
-				}
-			}
-			un.endpointFor = idx
-			for _, w := range prev.Labels[u].NetNodes() {
-				un.toStream = append(un.toStream, srcDist{Src: w, Dist: prev.Labels[u].Dists[w]})
+			un.endpointFor = changedArcIndex(g.Adj(u), other)
+			for _, e := range prev.Labels[u].Entries {
+				un.toStream = append(un.toStream, srcDist{Src: e.Net, Dist: e.D})
 			}
 		}
 		uns[u] = un
@@ -159,9 +218,11 @@ func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.
 	out := &LandmarkResult{Net: prev.Net}
 	out.Labels = make([]*sketch.LandmarkLabel, n)
 	for u := 0; u < n; u++ {
-		lab := sketch.NewLandmarkLabel(u)
-		lab.Dists = uns[u].best
-		out.Labels[u] = lab
+		if len(uns[u].delta) == 0 {
+			out.Labels[u] = prev.Labels[u]
+			continue
+		}
+		out.Labels[u] = mergeLabel(prev.Labels[u], uns[u].delta)
 	}
 	out.Cost.Total = eng.Stats()
 	return out, nil

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
 )
 
 // decreaseEdge returns a copy of g with edge {a,b} reweighted.
@@ -44,9 +47,21 @@ func TestUpdateLandmarkExact(t *testing.T) {
 	for _, w := range upd.Net {
 		want := graph.Dijkstra(ng, w)
 		for u := 0; u < ng.N(); u++ {
-			got, ok := upd.Labels[u].Dists[w]
+			got, ok := upd.Labels[u].Get(w)
 			if !ok || got != want.Dist[u] {
 				t.Fatalf("node %d landmark %d: got %d (ok=%v), want %d", u, w, got, ok, want.Dist[u])
+			}
+		}
+	}
+	// And the caller's labels must still be the OLD exact distances —
+	// UpdateLandmark repairs into fresh storage.
+	for _, w := range prev.Net {
+		want := graph.Dijkstra(g, w)
+		for u := 0; u < g.N(); u++ {
+			got, ok := prev.Labels[u].Get(w)
+			if !ok || got != want.Dist[u] {
+				t.Fatalf("prev label mutated: node %d landmark %d: got %d (ok=%v), want %d",
+					u, w, got, ok, want.Dist[u])
 			}
 		}
 	}
@@ -76,7 +91,7 @@ func TestUpdateLandmarkCheaperThanRebuild(t *testing.T) {
 	for _, w := range upd.Net[:3] {
 		want := graph.Dijkstra(ng, w)
 		for u := 0; u < ng.N(); u++ {
-			if upd.Labels[u].Dists[w] != want.Dist[u] {
+			if got, _ := upd.Labels[u].Get(w); got != want.Dist[u] {
 				t.Fatalf("node %d landmark %d wrong after cheap update", u, w)
 			}
 		}
@@ -111,5 +126,134 @@ func TestUpdateLandmarkBadEdge(t *testing.T) {
 	}
 	if _, err := UpdateLandmark(g, prev, 0, 3, congestDefault()); err == nil {
 		t.Error("nonexistent edge accepted")
+	}
+}
+
+// snapshotLabels deep-copies a label set so later comparison detects any
+// mutation of the originals.
+func snapshotLabels(labels []*sketch.LandmarkLabel) [][]sketch.Entry {
+	snap := make([][]sketch.Entry, len(labels))
+	for u, l := range labels {
+		snap[u] = append([]sketch.Entry(nil), l.Entries...)
+	}
+	return snap
+}
+
+func labelsEqualSnapshot(labels []*sketch.LandmarkLabel, snap [][]sketch.Entry) bool {
+	for u, l := range labels {
+		if len(l.Entries) != len(snap[u]) {
+			return false
+		}
+		for i, e := range l.Entries {
+			if e != snap[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestUpdateLandmarkCancelLeavesPrevIntact cancels the repair engine
+// mid-run and checks the error path leaves the caller's labels untouched
+// — the regression the old in-place repair failed: it installed prev's
+// maps into the repair nodes and mutated them during rounds, so a
+// cancellation left the caller silently corrupted.
+func TestUpdateLandmarkCancelLeavesPrevIntact(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 96, graph.UniformWeights(5, 50), 61)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.25, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotLabels(prev.Labels)
+	e := g.Edges()[g.M()/2]
+	ng := decreaseEdge(t, g, e.U, e.V, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := congestDefault()
+	cfg.Ctx = ctx
+	cfg.OnRound = func(r int) {
+		if r == 2 { // mid-repair: the streamed backlog is still in flight
+			cancel()
+		}
+	}
+	if _, err := UpdateLandmark(ng, prev, e.U, e.V, cfg); err == nil {
+		t.Fatal("canceled repair returned no error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !labelsEqualSnapshot(prev.Labels, snap) {
+		t.Fatal("canceled repair mutated the caller's labels")
+	}
+
+	// The same prev must still drive a successful repair to exact labels.
+	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range upd.Net[:3] {
+		want := graph.Dijkstra(ng, w)
+		for u := 0; u < ng.N(); u++ {
+			if got, _ := upd.Labels[u].Get(w); got != want.Dist[u] {
+				t.Fatalf("node %d landmark %d wrong after retry", u, w)
+			}
+		}
+	}
+	if !labelsEqualSnapshot(prev.Labels, snap) {
+		t.Fatal("successful repair mutated the caller's labels")
+	}
+}
+
+// TestChangedArcIndexParallel exercises the endpoint arc selection with
+// hand-built adjacency lists containing parallel arcs. graph.Builder
+// canonicalizes parallel edges to the minimum weight today, so this
+// guards the selection logic for ingestion paths that may not: the
+// repair must stream across the lightest arc to the changed neighbor,
+// not whichever parallel arc happens to scan last.
+func TestChangedArcIndexParallel(t *testing.T) {
+	arcs := []graph.Arc{
+		{To: 2, Weight: 7},
+		{To: 4, Weight: 9}, // heavy parallel arc first
+		{To: 4, Weight: 3}, // the changed (lightest) arc
+		{To: 4, Weight: 5},
+		{To: 6, Weight: 1},
+	}
+	if got := changedArcIndex(arcs, 4); got != 2 {
+		t.Errorf("changedArcIndex = %d, want 2 (the minimum-weight arc)", got)
+	}
+	if got := changedArcIndex(arcs, 6); got != 4 {
+		t.Errorf("changedArcIndex = %d, want 4", got)
+	}
+	if got := changedArcIndex(arcs, 9); got != -1 {
+		t.Errorf("changedArcIndex = %d, want -1 for a missing neighbor", got)
+	}
+	// Ties resolve to the first match, preserving the pre-fix behavior
+	// for graphs without parallel edges.
+	ties := []graph.Arc{{To: 4, Weight: 3}, {To: 4, Weight: 3}}
+	if got := changedArcIndex(ties, 4); got != 0 {
+		t.Errorf("changedArcIndex = %d, want 0 on ties", got)
+	}
+}
+
+// TestUpdateLandmarkSharesUnchangedLabels checks the repair result reuses
+// prev's label values for nodes whose distances did not change (the
+// cheap-repair contract: cost proportional to the affected region).
+func TestUpdateLandmarkSharesUnchangedLabels(t *testing.T) {
+	g := graph.Make(graph.FamilyGrid, 49, graph.UniformWeights(2, 9), 63)
+	prev, err := BuildLandmark(g, SlackOptions{Eps: 0.5, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[0]
+	// No-op "decrease" to the same weight: nothing improves, so every
+	// label must be shared pointer-identical with prev.
+	upd, err := UpdateLandmark(g, prev, e.U, e.V, congestDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range upd.Labels {
+		if upd.Labels[u] != prev.Labels[u] {
+			t.Fatalf("node %d label copied on a no-op repair", u)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"distsketch/internal/graph"
 	"distsketch/internal/sketch"
@@ -16,7 +17,7 @@ import (
 // messages, so it never pollutes the CONGEST cost accounting) and runs
 // in O((n+m)·|net|) time.
 //
-// The characterization used: a column ℓ(·) = labels[·].Dists[w] equals
+// The characterization used: a column ℓ(·) = labels[·].Get(w) equals
 // d(·, w) exactly when
 //
 //  1. ℓ(w) = 0;
@@ -43,19 +44,41 @@ func VerifyLandmarkExact(g *graph.Graph, labels []*sketch.LandmarkLabel, net []i
 		if w < 0 || w >= n {
 			return fmt.Errorf("core: net node %d out of range [0,%d)", w, n)
 		}
-		if d, ok := labels[w].Dists[w]; !ok {
+	}
+	// Columns are checked in ascending net order with one cursor per
+	// node's entry slice: the entries are sorted, so every lookup is a
+	// monotone cursor advance — amortized O(1), preserving the
+	// O((n+m)·|net|) bound a binary search per access would not. The
+	// caller's net order is unconstrained (it may come from an untrusted
+	// envelope), so iterate a sorted copy; column checks are
+	// order-independent.
+	sorted := append([]int(nil), net...)
+	sort.Ints(sorted)
+	cur := make([]int, n)
+	at := func(u, w int) (graph.Dist, bool) {
+		es := labels[u].Entries
+		for cur[u] < len(es) && es[cur[u]].Net < w {
+			cur[u]++
+		}
+		if cur[u] < len(es) && es[cur[u]].Net == w {
+			return es[cur[u]].D, true
+		}
+		return 0, false
+	}
+	for _, w := range sorted {
+		if d, ok := at(w, w); !ok {
 			return fmt.Errorf("core: net node %d is missing its own label entry", w)
 		} else if d != 0 {
 			return fmt.Errorf("core: net node %d has distance %d to itself", w, d)
 		}
 		for u := 0; u < n; u++ {
-			lu, okU := labels[u].Dists[w]
+			lu, okU := at(u, w)
 			if !okU {
 				lu = graph.Inf
 			}
 			supported := u == w || !okU
 			for _, arc := range g.Adj(u) {
-				lv, okV := labels[arc.To].Dists[w]
+				lv, okV := at(arc.To, w)
 				if !okV {
 					lv = graph.Inf
 				}

@@ -44,14 +44,9 @@ func E14(cfg Config) *Table {
 		} {
 			e, w := change.pick()
 			ng := reweight(g, e, w)
-			// Fresh copy of the labels for the update (UpdateLandmark
-			// mutates them).
-			base, err := core.BuildLandmark(g, core.SlackOptions{Eps: eps, Seed: 71})
-			if err != nil {
-				t.Failf("%s: %v", f, err)
-				continue
-			}
-			upd, err := core.UpdateLandmark(ng, base, e.U, e.V, congestCfg())
+			// UpdateLandmark treats prev as read-only, so the one base
+			// build is shared across both change scenarios.
+			upd, err := core.UpdateLandmark(ng, prev, e.U, e.V, congestCfg())
 			if err != nil {
 				t.Failf("%s %s update: %v", f, change.name, err)
 				continue
@@ -63,10 +58,15 @@ func E14(cfg Config) *Table {
 			}
 			// Exactness: updated labels equal the rebuilt ones.
 			for u := 0; u < n; u++ {
-				for w2, d := range rebuild.Labels[u].Dists {
-					if upd.Labels[u].Dists[w2] != d {
+				if upd.Labels[u].Len() != rebuild.Labels[u].Len() {
+					t.Failf("%s %s: node %d has %d entries, rebuild %d",
+						f, change.name, u, upd.Labels[u].Len(), rebuild.Labels[u].Len())
+					continue
+				}
+				for _, re := range rebuild.Labels[u].Entries {
+					if got, ok := upd.Labels[u].Get(re.Net); !ok || got != re.D {
 						t.Failf("%s %s: node %d landmark %d: update %d != rebuild %d",
-							f, change.name, u, w2, upd.Labels[u].Dists[w2], d)
+							f, change.name, u, re.Net, got, re.D)
 					}
 				}
 			}
@@ -78,7 +78,6 @@ func E14(cfg Config) *Table {
 				t.Failf("%s %s: update costlier than rebuild", f, change.name)
 			}
 		}
-		_ = prev
 	}
 	return t
 }

@@ -151,20 +151,30 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 	return l, nil
 }
 
-// MarshalLandmark encodes a landmark label.
+// MarshalLandmark encodes a landmark label. Entries are emitted in their
+// stored (sorted, unique) order — the same ascending-ID order the old
+// map-backed encoder produced via NetNodes, so the wire bytes are
+// unchanged across the sorted-slice refactor.
 func MarshalLandmark(l *LandmarkLabel) []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(TagLandmark)
 	putInt(&buf, int64(l.Owner))
-	putInt(&buf, int64(len(l.Dists)))
-	for _, w := range l.NetNodes() {
-		putInt(&buf, int64(w))
-		putDist(&buf, l.Dists[w])
+	putInt(&buf, int64(len(l.Entries)))
+	for _, e := range l.Entries {
+		putInt(&buf, int64(e.Net))
+		putDist(&buf, e.D)
 	}
 	return buf.Bytes()
 }
 
-// UnmarshalLandmark decodes a landmark label.
+// UnmarshalLandmark decodes a landmark label. Our encoder always emits
+// entries in ascending net-ID order, but the input is untrusted wire
+// bytes (Section 2.1: sketches arrive from arbitrary peers), so unsorted
+// or duplicated net IDs are canonicalized — sorted, duplicates collapsed
+// to the smallest distance — rather than trusted. The map representation
+// silently absorbed duplicates with last-entry-wins, which made the
+// decoded label depend on adversarial entry order; canonicalizing makes
+// it deterministic and keeps QueryLandmark's merge-intersection sound.
 func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 	r := bytes.NewReader(data)
 	tag, err := r.ReadByte()
@@ -184,6 +194,8 @@ func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 		return nil, fmt.Errorf("sketch: entry count %d exceeds input", m)
 	}
 	l := NewLandmarkLabel(int(owner))
+	l.Entries = make([]Entry, 0, m)
+	canonical := true
 	for j := 0; j < int(m); j++ {
 		w, err := getInt(r)
 		if err != nil {
@@ -193,10 +205,16 @@ func UnmarshalLandmark(data []byte) (*LandmarkLabel, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.Dists[int(w)] = d
+		if n := len(l.Entries); n > 0 && int(w) <= l.Entries[n-1].Net {
+			canonical = false
+		}
+		l.Entries = append(l.Entries, Entry{Net: int(w), D: d})
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
+	}
+	if !canonical {
+		l.Entries = CanonicalizeEntries(l.Entries)
 	}
 	return l, nil
 }

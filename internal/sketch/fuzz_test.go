@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"bytes"
 	"testing"
 
 	"distsketch/internal/graph"
@@ -35,13 +36,37 @@ func FuzzUnmarshalTZ(f *testing.F) {
 
 func FuzzUnmarshalLandmark(f *testing.F) {
 	l := NewLandmarkLabel(2)
-	l.Dists[5] = 9
+	l.Set(5, 9)
 	f.Add(MarshalLandmark(l))
 	f.Add([]byte{2, 4})
+	// Unsorted and duplicated net ids: legal varint streams our encoder
+	// never produces. The decoder must canonicalize them (sort, dedup to
+	// the smallest distance), never hand back a label whose sorted-merge
+	// queries would be wrong.
+	f.Add([]byte{2, 2, 6, 18, 8, 6, 12, 18, 4}) // owner 1: (9,4),(3,6),(9,2)
+	f.Add([]byte{2, 0, 4, 14, 2, 14, 6})        // owner 0: (7,1),(7,3)
+	f.Add([]byte{2, 0, 4, 14, 1, 14, 6})        // owner 0: (7,Inf),(7,3)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lab, err := UnmarshalLandmark(data)
-		if err == nil && lab == nil {
-			t.Error("nil label without error")
+		if err != nil {
+			return
+		}
+		if lab == nil {
+			t.Fatal("nil label without error")
+		}
+		// Decoded labels are canonical: strictly ascending unique ids.
+		if verr := lab.Validate(); verr != nil {
+			t.Fatalf("decoded label not canonical: %v", verr)
+		}
+		// And round-trip to a fixed point: re-marshaling the canonical
+		// label and decoding again must reproduce it byte for byte.
+		blob := MarshalLandmark(lab)
+		lab2, err2 := UnmarshalLandmark(blob)
+		if err2 != nil {
+			t.Fatalf("re-unmarshal failed: %v", err2)
+		}
+		if !bytes.Equal(MarshalLandmark(lab2), blob) {
+			t.Error("canonical form is not a marshal fixed point")
 		}
 	})
 }

@@ -1,7 +1,9 @@
 package sketch
 
 import (
+	"bytes"
 	"math"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -207,8 +209,8 @@ func TestSizeWords(t *testing.T) {
 		t.Errorf("size = %d, want 10", s)
 	}
 	lm := NewLandmarkLabel(0)
-	lm.Dists[3] = 5
-	lm.Dists[7] = 9
+	lm.Set(3, 5)
+	lm.Set(7, 9)
 	if s := lm.SizeWords(); s != 4 {
 		t.Errorf("landmark size = %d, want 4", s)
 	}
@@ -217,10 +219,10 @@ func TestSizeWords(t *testing.T) {
 func TestQueryLandmark(t *testing.T) {
 	a := NewLandmarkLabel(0)
 	b := NewLandmarkLabel(1)
-	a.Dists[10] = 3
-	a.Dists[11] = 1
-	b.Dists[10] = 2
-	b.Dists[11] = 7
+	a.Set(10, 3)
+	a.Set(11, 1)
+	b.Set(10, 2)
+	b.Set(11, 7)
 	if got := QueryLandmark(a, b); got != 5 {
 		t.Errorf("QueryLandmark = %d, want 5 (via node 10)", got)
 	}
@@ -228,9 +230,103 @@ func TestQueryLandmark(t *testing.T) {
 		t.Errorf("self query = %d", got)
 	}
 	c := NewLandmarkLabel(2) // no shared landmarks
-	c.Dists[99] = 1
+	c.Set(99, 1)
 	if got := QueryLandmark(a, c); got != graph.Inf {
 		t.Errorf("no common landmark should give Inf, got %d", got)
+	}
+}
+
+// queryLandmarkMap is the seed's map-probe intersection, kept as the
+// reference the merge-intersection must match observationally.
+func queryLandmarkMap(a, b *LandmarkLabel) graph.Dist {
+	if a.Owner == b.Owner {
+		return 0
+	}
+	am := make(map[int]graph.Dist, a.Len())
+	for _, e := range a.Entries {
+		am[e.Net] = e.D
+	}
+	best := graph.Inf
+	for _, e := range b.Entries {
+		if da, ok := am[e.Net]; ok {
+			if est := graph.AddDist(da, e.D); est < best {
+				best = est
+			}
+		}
+	}
+	return best
+}
+
+// TestQueryLandmarkMatchesMapReference drives the two-pointer merge
+// against the seed's map-based query on randomized label pairs with
+// partial overlap, including Inf entries and empty labels.
+func TestQueryLandmarkMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 200; trial++ {
+		mk := func(owner int) *LandmarkLabel {
+			l := NewLandmarkLabel(owner)
+			n := int(rng.Uint64() % 20)
+			for i := 0; i < n; i++ {
+				w := int(rng.Uint64() % 30)
+				d := graph.Dist(rng.Uint64() % 100)
+				if rng.Uint64()%10 == 0 {
+					d = graph.Inf
+				}
+				l.Set(w, d)
+			}
+			return l
+		}
+		a, b := mk(1), mk(2)
+		if got, want := QueryLandmark(a, b), queryLandmarkMap(a, b); got != want {
+			t.Fatalf("trial %d: merge %d != map %d (a=%+v b=%+v)", trial, got, want, a.Entries, b.Entries)
+		}
+	}
+}
+
+// TestLandmarkSetGet covers the sorted-insert paths: ascending append,
+// out-of-order insert, and overwrite.
+func TestLandmarkSetGet(t *testing.T) {
+	l := NewLandmarkLabel(0)
+	l.Set(5, 50)
+	l.Set(9, 90) // append fast path
+	l.Set(1, 10) // insert at front
+	l.Set(7, 70) // insert in middle
+	l.Set(5, 55) // overwrite
+	want := []Entry{{1, 10}, {5, 55}, {7, 70}, {9, 90}}
+	if len(l.Entries) != len(want) {
+		t.Fatalf("entries = %+v, want %+v", l.Entries, want)
+	}
+	for i := range want {
+		if l.Entries[i] != want[i] {
+			t.Fatalf("entries = %+v, want %+v", l.Entries, want)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := l.Get(7); !ok || d != 70 {
+		t.Errorf("Get(7) = %d,%v", d, ok)
+	}
+	if _, ok := l.Get(2); ok {
+		t.Error("Get(2) found a missing entry")
+	}
+	if ids := l.NetNodes(); len(ids) != 4 || ids[0] != 1 || ids[3] != 9 {
+		t.Errorf("NetNodes = %v", ids)
+	}
+}
+
+func TestLandmarkValidate(t *testing.T) {
+	l := &LandmarkLabel{Owner: 0, Entries: []Entry{{3, 1}, {3, 2}}}
+	if err := l.Validate(); err == nil {
+		t.Error("duplicate net id not caught")
+	}
+	l.Entries = []Entry{{5, 1}, {3, 2}}
+	if err := l.Validate(); err == nil {
+		t.Error("unsorted entries not caught")
+	}
+	l.Entries = []Entry{{3, -4}}
+	if err := l.Validate(); err == nil {
+		t.Error("negative distance not caught")
 	}
 }
 
@@ -314,14 +410,78 @@ func TestMarshalRejectsGarbage(t *testing.T) {
 
 func TestMarshalLandmarkRoundTrip(t *testing.T) {
 	l := NewLandmarkLabel(42)
-	l.Dists[3] = 17
-	l.Dists[900] = 2
-	got, err := UnmarshalLandmark(MarshalLandmark(l))
+	l.Set(3, 17)
+	l.Set(900, 2)
+	blob := MarshalLandmark(l)
+	got, err := UnmarshalLandmark(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Owner != 42 || len(got.Dists) != 2 || got.Dists[3] != 17 || got.Dists[900] != 2 {
+	d3, ok3 := got.Get(3)
+	d900, ok900 := got.Get(900)
+	if got.Owner != 42 || got.Len() != 2 || !ok3 || d3 != 17 || !ok900 || d900 != 2 {
 		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if !bytes.Equal(MarshalLandmark(got), blob) {
+		t.Error("re-marshal not byte-identical")
+	}
+}
+
+// TestMarshalLandmarkGoldenBytes pins the landmark wire format to the
+// seed encoder's exact output (tag, varint owner, varint count, then
+// ascending (id, dist) varint pairs), so the sorted-slice representation
+// provably did not change the bytes on the wire — existing persisted
+// envelopes keep decoding, and the envelope version did not need a bump.
+func TestMarshalLandmarkGoldenBytes(t *testing.T) {
+	l := NewLandmarkLabel(42)
+	l.Set(3, 17)
+	l.Set(900, 2)
+	l.Set(5, graph.Inf)
+	want := []byte{
+		TagLandmark,
+		84,    // varint 42
+		6,     // entry count 3
+		6, 34, // id 3, dist 17
+		10, 1, // id 5, dist Inf (varint -1)
+		136, 14, 4, // id 900 (two-byte varint), dist 2
+	}
+	if got := MarshalLandmark(l); !bytes.Equal(got, want) {
+		t.Errorf("wire bytes %v, want %v", got, want)
+	}
+}
+
+// TestUnmarshalLandmarkCanonicalizes feeds the decoder wire bytes with
+// out-of-order and duplicated net ids — legal varint streams our encoder
+// never emits — and checks it canonicalizes (sorted, unique, smallest
+// duplicate distance wins) rather than producing a label whose merge
+// queries would silently miss intersections.
+func TestUnmarshalLandmarkCanonicalizes(t *testing.T) {
+	// Hand-assembled: owner 1, three entries (9,4), (3,6), (9,2).
+	raw := []byte{
+		TagLandmark,
+		2,     // owner 1
+		6,     // count 3
+		18, 8, // id 9, dist 4
+		6, 12, // id 3, dist 6
+		18, 4, // id 9, dist 2
+	}
+	got, err := UnmarshalLandmark(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded label not canonical: %v", err)
+	}
+	want := []Entry{{3, 6}, {9, 2}}
+	if got.Len() != len(want) || got.Entries[0] != want[0] || got.Entries[1] != want[1] {
+		t.Fatalf("entries = %+v, want %+v", got.Entries, want)
+	}
+	// The canonicalized label intersects correctly where the raw entry
+	// order would have confused a naive merge.
+	other := NewLandmarkLabel(2)
+	other.Set(9, 1)
+	if d := QueryLandmark(got, other); d != 3 {
+		t.Errorf("query after canonicalization = %d, want 3", d)
 	}
 }
 

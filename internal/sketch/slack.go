@@ -10,48 +10,143 @@ import (
 
 // Slack sketch types from Section 4 of the paper.
 
+// Entry is one landmark label record: a density-net member and the label
+// owner's distance to it.
+type Entry struct {
+	Net int
+	D   graph.Dist
+}
+
 // LandmarkLabel is the stretch-3 ε-slack sketch of Theorem 4.3: the node's
 // distance to every member of an ε-density net N.
+//
+// Entries are kept sorted by ascending net ID with unique keys. That order
+// is a representation invariant, not a convenience: QueryLandmark is a
+// two-pointer merge-intersection over the two entry slices, which is what
+// makes the decode-once query a branch-predictable linear pass with zero
+// allocations instead of |N| hashed map probes. Every producer — the
+// builders, the wire decoder, and the repair path — maintains the
+// invariant; Validate checks it.
 type LandmarkLabel struct {
-	Owner int
-	Dists map[int]graph.Dist // net node -> d(owner, net node)
+	Owner   int
+	Entries []Entry
 }
 
 // NewLandmarkLabel allocates an empty landmark label.
 func NewLandmarkLabel(owner int) *LandmarkLabel {
-	return &LandmarkLabel{Owner: owner, Dists: make(map[int]graph.Dist)}
+	return &LandmarkLabel{Owner: owner}
+}
+
+// NewLandmarkLabelFromEntries builds a label from entries in any order,
+// canonicalizing in place: entries are sorted by net ID and duplicate IDs
+// collapse to the smallest distance (labels store distances, so the
+// smallest duplicate is the only sound survivor).
+func NewLandmarkLabelFromEntries(owner int, entries []Entry) *LandmarkLabel {
+	return &LandmarkLabel{Owner: owner, Entries: CanonicalizeEntries(entries)}
+}
+
+// CanonicalizeEntries sorts entries by net ID and collapses duplicate IDs
+// to the smallest distance, returning the canonical slice (reusing the
+// input's storage).
+func CanonicalizeEntries(entries []Entry) []Entry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Net < entries[j].Net })
+	out := entries[:0]
+	for _, e := range entries {
+		if n := len(out); n > 0 && out[n-1].Net == e.Net {
+			if e.D < out[n-1].D {
+				out[n-1].D = e.D
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of net members stored in the label.
+func (l *LandmarkLabel) Len() int { return len(l.Entries) }
+
+// Get returns the stored distance to net node w, or (0, false).
+func (l *LandmarkLabel) Get(w int) (graph.Dist, bool) {
+	i := sort.Search(len(l.Entries), func(i int) bool { return l.Entries[i].Net >= w })
+	if i < len(l.Entries) && l.Entries[i].Net == w {
+		return l.Entries[i].D, true
+	}
+	return 0, false
+}
+
+// Set inserts or replaces the entry for net node w, preserving the sorted
+// order. Appending in ascending ID order — the natural order for the
+// builders, which scan sorted nets — is O(1) amortized.
+func (l *LandmarkLabel) Set(w int, d graph.Dist) {
+	if n := len(l.Entries); n == 0 || w > l.Entries[n-1].Net {
+		l.Entries = append(l.Entries, Entry{Net: w, D: d})
+		return
+	}
+	i := sort.Search(len(l.Entries), func(i int) bool { return l.Entries[i].Net >= w })
+	if i < len(l.Entries) && l.Entries[i].Net == w {
+		l.Entries[i].D = d
+		return
+	}
+	l.Entries = append(l.Entries, Entry{})
+	copy(l.Entries[i+1:], l.Entries[i:])
+	l.Entries[i] = Entry{Net: w, D: d}
 }
 
 // SizeWords counts two words (ID, distance) per net node.
-func (l *LandmarkLabel) SizeWords() int { return 2 * len(l.Dists) }
+func (l *LandmarkLabel) SizeWords() int { return 2 * len(l.Entries) }
 
-// NetNodes returns the sorted net member IDs stored in the label.
+// NetNodes returns the net member IDs in ascending order. The slice is
+// freshly allocated but never re-sorted — the sorted representation makes
+// it a straight copy of the entry keys. Hot paths (marshalling, the
+// repair's stream setup) iterate Entries directly instead.
 func (l *LandmarkLabel) NetNodes() []int {
-	ids := make([]int, 0, len(l.Dists))
-	for w := range l.Dists {
-		ids = append(ids, w)
+	ids := make([]int, len(l.Entries))
+	for i, e := range l.Entries {
+		ids[i] = e.Net
 	}
-	sort.Ints(ids)
 	return ids
+}
+
+// Validate checks the representation invariant: entries strictly
+// ascending by net ID (sorted, no duplicates) with non-negative distances.
+func (l *LandmarkLabel) Validate() error {
+	for i, e := range l.Entries {
+		if i > 0 && e.Net <= l.Entries[i-1].Net {
+			return fmt.Errorf("sketch: landmark entries not strictly ascending at index %d (%d after %d)",
+				i, e.Net, l.Entries[i-1].Net)
+		}
+		if e.D < 0 {
+			return fmt.Errorf("sketch: landmark entry %d has negative distance %d", e.Net, e.D)
+		}
+	}
+	return nil
 }
 
 // QueryLandmark estimates d(u,v) as min over net nodes w of
 // d(u,w) + d(w,v) (Theorem 4.3). For pairs where v is ε-far from u the
-// estimate is between d(u,v) and 3·d(u,v).
+// estimate is between d(u,v) and 3·d(u,v). The intersection is a
+// two-pointer merge over the sorted entry slices: O(|a|+|b|) comparisons,
+// zero allocations.
 func QueryLandmark(a, b *LandmarkLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
 	}
 	best := graph.Inf
-	small, large := a, b
-	if len(b.Dists) < len(a.Dists) {
-		small, large = b, a
-	}
-	for w, dw := range small.Dists {
-		if dv, ok := large.Dists[w]; ok {
-			if est := graph.AddDist(dw, dv); est < best {
+	ae, be := a.Entries, b.Entries
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i].Net < be[j].Net:
+			i++
+		case ae[i].Net > be[j].Net:
+			j++
+		default:
+			if est := graph.AddDist(ae[i].D, be[j].D); est < best {
 				best = est
 			}
+			i++
+			j++
 		}
 	}
 	return best

@@ -33,11 +33,13 @@ func BuildLandmark(g *graph.Graph, eps float64, seed uint64, instance int) ([]*s
 	for u := 0; u < n; u++ {
 		labels[u] = sketch.NewLandmarkLabel(u)
 	}
+	// net is ascending, so each label receives its entries in sorted
+	// order and Set stays on its O(1) append fast path.
 	for _, w := range net {
 		r := graph.Dijkstra(g, w)
 		for u := 0; u < n; u++ {
 			if r.Dist[u] != graph.Inf {
-				labels[u].Dists[w] = r.Dist[u]
+				labels[u].Set(w, r.Dist[u])
 			}
 		}
 	}

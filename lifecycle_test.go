@@ -65,6 +65,43 @@ func TestSketchSetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSketchSetEnvelopeByteStable: serializing a reloaded set must
+// reproduce the envelope byte for byte, for every kind. This is the
+// compatibility guarantee behind keeping the envelope at version 1
+// across the landmark sorted-slice refactor: the wire encoder emits
+// entries in the same ascending-ID order the map-backed seed encoder
+// produced, so persisted sets decode unchanged and round-trip to a
+// fixed point.
+func TestSketchSetEnvelopeByteStable(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 64, 1, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			set, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if _, err := set.WriteTo(&first); err != nil {
+				t.Fatal(err)
+			}
+			reloaded, err := ReadSketchSet(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if _, err := reloaded.WriteTo(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("envelope is not byte-stable across a write/read/write cycle")
+			}
+		})
+	}
+}
+
 // TestReadSketchSetRejectsCorrupt: the envelope must fail loudly, not
 // decode garbage.
 func TestReadSketchSetRejectsCorrupt(t *testing.T) {

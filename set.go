@@ -268,17 +268,12 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 			return Stats{}, fmt.Errorf("distsketch: graph has zero-weight edge (%d,%d); incremental repair requires strictly positive weights", e.U, e.V)
 		}
 	}
-	// core.UpdateLandmark consumes and mutates the labels it is given;
-	// repair clones so a mid-run failure cannot leave the live set
-	// half-relaxed.
+	// core.UpdateLandmark treats prev as read-only (improvements repair
+	// into fresh storage), so the live labels can be handed over directly
+	// — a mid-run failure cannot leave the set half-relaxed.
 	labels := make([]*sketch.LandmarkLabel, n)
 	for u, sk := range s.sketches {
-		old := sk.label.(*sketch.LandmarkLabel)
-		clone := sketch.NewLandmarkLabel(old.Owner)
-		for w, d := range old.Dists {
-			clone.Dists[w] = d
-		}
-		labels[u] = clone
+		labels[u] = sk.label.(*sketch.LandmarkLabel)
 	}
 	prev := &core.LandmarkResult{Labels: labels, Net: s.net}
 	upd, err := core.UpdateLandmark(g, prev, a, b, congest.Config{})
@@ -287,12 +282,15 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 	}
 	// A weight increase leaves the warm-started labels below the true new
 	// distances — silently wrong estimates. Verify exactness before
-	// swapping; the clones above guarantee the live set is untouched on
-	// failure.
+	// swapping; the repair's fresh result labels guarantee the live set
+	// is untouched on failure.
 	if verr := core.VerifyLandmarkExact(g, upd.Labels, s.net); verr != nil {
 		return Stats{}, fmt.Errorf("distsketch: repair of edge (%d,%d) did not converge to exact labels (%v); the weight likely increased, which warm-start repair cannot handle: %w", a, b, verr, ErrRebuildRequired)
 	}
 	for u := range s.sketches {
+		if upd.Labels[u] == labels[u] {
+			continue // unchanged label: keep the existing Sketch value
+		}
 		s.sketches[u] = &Sketch{kind: KindLandmark, label: upd.Labels[u]}
 	}
 	repair := statsOf(upd.Cost.Total)
