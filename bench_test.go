@@ -9,6 +9,7 @@ package distsketch
 // the complete reproduction at a glance.
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -435,6 +436,61 @@ func BenchmarkQueryPath(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// TestQueryPathZeroAlloc pins BenchmarkQueryPath's alloc column as a
+// hard assertion: the decoded query path must stay allocation-free for
+// every kind — on freshly parsed sketches and on a warmed lazily loaded
+// set — so an accidental allocation on the serving hot path fails tests
+// instead of silently showing up in the next BENCH_*.json.
+func TestQueryPathZeroAlloc(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyER, 128, 1, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		t.Run(string(kind), func(t *testing.T) {
+			set, err := Build(g, Options{Kind: kind, K: 3, Eps: 0.25, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed := make([]*Sketch, n)
+			for u := 0; u < n; u++ {
+				if parsed[u], err = ParseSketch(set.SketchBytes(u)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			q := 0
+			if allocs := testing.AllocsPerRun(100, func() {
+				if _, err := parsed[q%n].Estimate(parsed[(q*37+11)%n]); err != nil {
+					t.Fatal(err)
+				}
+				q++
+			}); allocs != 0 {
+				t.Errorf("decoded Estimate allocates %.1f objects per query, want 0", allocs)
+			}
+
+			var buf bytes.Buffer
+			if _, err := set.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := ReadSketchSet(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lazy.Materialize(); err != nil { // warm every label
+				t.Fatal(err)
+			}
+			q = 0
+			if allocs := testing.AllocsPerRun(100, func() {
+				lazy.Query(q%n, (q*37+11)%n)
+				q++
+			}); allocs != 0 {
+				t.Errorf("warmed lazy Query allocates %.1f objects per query, want 0", allocs)
+			}
 		})
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 	load := flag.String("load", "", "read the network from an edge-list file instead of generating one")
 	save := flag.String("save", "", "write the generated network to an edge-list file")
 	saveSet := flag.String("saveset", "", "write the built sketch set to this file")
+	setVersion := flag.Int("setversion", distsketch.SetVersion2, "envelope version for -saveset: 2 (lazy-loading directory) or 1 (legacy eager)")
 	loadSet := flag.String("loadset", "", "serve queries from a previously saved sketch set (skips the build)")
 	flag.Parse()
 
@@ -57,7 +58,8 @@ func main() {
 			fatal(err)
 		}
 		if *summary {
-			fmt.Printf("loaded:  %s (%d nodes, kind=%s)\n", *loadSet, set.N(), set.Kind())
+			fmt.Printf("loaded:  %s (%d nodes, kind=%s, envelope v%d, %d/%d sketches decoded)\n",
+				*loadSet, set.N(), set.Kind(), set.EnvelopeVersion(), set.DecodedSketches(), set.N())
 		}
 	} else {
 		var g *distsketch.Graph
@@ -137,14 +139,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := set.WriteTo(f); err != nil {
+		if _, err := set.WriteToVersion(f, *setVersion); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		if *summary {
-			fmt.Printf("saved:   %s\n", *saveSet)
+			fmt.Printf("saved:   %s (envelope v%d)\n", *saveSet, *setVersion)
 		}
 	}
 

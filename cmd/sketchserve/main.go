@@ -74,8 +74,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("sketchserve: %v", err)
 	}
-	log.Printf("sketchserve: serving %s (%d nodes, kind=%s, mean sketch %.1f words) on %s",
-		*setPath, set.N(), set.Kind(), set.MeanSketchWords(), *addr)
+	// MeanSketchWords answers from the envelope's directory for a lazily
+	// loaded (version-2) set, so this log line does not force any label
+	// decodes — startup stays an O(n) directory scan.
+	log.Printf("sketchserve: serving %s (%d nodes, kind=%s, mean sketch %.1f words, envelope v%d, %d/%d sketches decoded) on %s",
+		*setPath, set.N(), set.Kind(), set.MeanSketchWords(), set.EnvelopeVersion(), set.DecodedSketches(), set.N(), *addr)
 	if g == nil {
 		log.Printf("sketchserve: no -graph given; POST /update-edge disabled")
 	}

@@ -1,0 +1,381 @@
+package distsketch
+
+// Envelope format tests: golden bytes pinning both envelope versions,
+// version-1 ↔ version-2 compatibility round trips, the lazy-loading
+// contract of version 2 (zero up-front label decodes, byte-identical
+// query results), and rejection of crafted version-2 envelopes.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"distsketch/internal/sketch"
+)
+
+// goldenEnvelopeSet is a hand-built two-node landmark set with fixed
+// cost accounting, small enough that its envelope bytes can be pinned
+// literally in the golden tests below.
+func goldenEnvelopeSet() *SketchSet {
+	l0 := &sketch.LandmarkLabel{Owner: 0, Entries: []sketch.Entry{{Net: 1, D: 3}}}
+	l1 := &sketch.LandmarkLabel{Owner: 1, Entries: []sketch.Entry{{Net: 1, D: 0}}}
+	return &SketchSet{
+		kind:     KindLandmark,
+		sketches: []*Sketch{{kind: KindLandmark, label: l0}, {kind: KindLandmark, label: l1}},
+		cost: CostBreakdown{
+			Total:        Stats{Rounds: 2, Messages: 5, Words: 7},
+			DataMessages: 5,
+			Phases:       []PhaseCost{{Name: "landmark", Stats: Stats{Rounds: 2, Messages: 5, Words: 7}}},
+		},
+		net: []int{1},
+	}
+}
+
+// goldenV1 and goldenV2 are the pinned envelope bytes of
+// goldenEnvelopeSet: magic, version, payload length, payload (kind tag,
+// node count, cost, phases, net, sketches — version 2 with the per-node
+// length+words directory ahead of the blobs), crc32.
+var goldenV1 = []byte{
+	0x44, 0x53, 0x4b, 0x53, 0x45, 0x54, 0x1, 0x24, 0x2, 0x2, 0x2, 0x5, 0x7, 0x5, 0x0, 0x0,
+	0x0, 0x1, 0x8, 0x6c, 0x61, 0x6e, 0x64, 0x6d, 0x61, 0x72, 0x6b, 0x2, 0x5, 0x7, 0x1, 0x1,
+	0x5, 0x2, 0x0, 0x2, 0x2, 0x6, 0x5, 0x2, 0x2, 0x2, 0x2, 0x0, 0xf4, 0x62, 0xd3, 0x20,
+}
+
+var goldenV2 = []byte{
+	0x44, 0x53, 0x4b, 0x53, 0x45, 0x54, 0x2, 0x26, 0x2, 0x2, 0x2, 0x5, 0x7, 0x5, 0x0, 0x0,
+	0x0, 0x1, 0x8, 0x6c, 0x61, 0x6e, 0x64, 0x6d, 0x61, 0x72, 0x6b, 0x2, 0x5, 0x7, 0x1, 0x1,
+	0x5, 0x2, 0x5, 0x2, 0x2, 0x0, 0x2, 0x2, 0x6, 0x2, 0x2, 0x2, 0x2, 0x0, 0x98, 0xe5, 0xea, 0xd9,
+}
+
+// TestGoldenEnvelopeV1 pins the version-1 envelope byte for byte, so the
+// legacy format provably cannot drift while version 2 evolves.
+func TestGoldenEnvelopeV1(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := goldenEnvelopeSet().WriteToVersion(&buf, SetVersion1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenV1) {
+		t.Fatalf("v1 envelope bytes drifted:\n got %#v\nwant %#v", buf.Bytes(), goldenV1)
+	}
+	set, err := ReadSketchSet(bytes.NewReader(goldenV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.EnvelopeVersion() != SetVersion1 || set.N() != 2 || set.Kind() != KindLandmark {
+		t.Fatalf("decoded golden v1: version=%d n=%d kind=%s", set.EnvelopeVersion(), set.N(), set.Kind())
+	}
+	if d := set.Query(0, 1); d != 3 {
+		t.Errorf("golden v1 query = %d, want 3", d)
+	}
+}
+
+// TestGoldenEnvelopeV2 pins the version-2 envelope — directory layout
+// included — byte for byte.
+func TestGoldenEnvelopeV2(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := goldenEnvelopeSet().WriteToVersion(&buf, SetVersion2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenV2) {
+		t.Fatalf("v2 envelope bytes drifted:\n got %#v\nwant %#v", buf.Bytes(), goldenV2)
+	}
+	set, err := ReadSketchSet(bytes.NewReader(goldenV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.EnvelopeVersion() != SetVersion2 || set.N() != 2 || set.Kind() != KindLandmark {
+		t.Fatalf("decoded golden v2: version=%d n=%d kind=%s", set.EnvelopeVersion(), set.N(), set.Kind())
+	}
+	if got := set.DecodedSketches(); got != 0 {
+		t.Errorf("v2 load decoded %d labels up front, want 0", got)
+	}
+	if set.SketchWords(0) != 2 || set.SketchWords(1) != 2 {
+		t.Errorf("directory words = %d,%d, want 2,2", set.SketchWords(0), set.SketchWords(1))
+	}
+	if d := set.Query(0, 1); d != 3 {
+		t.Errorf("golden v2 query = %d, want 3", d)
+	}
+}
+
+// TestGoldenEnvelopeCrossVersion: reading one version and writing the
+// other must reproduce the other golden file exactly — the payload
+// differs only in the sketch section layout.
+func TestGoldenEnvelopeCrossVersion(t *testing.T) {
+	fromV1, err := ReadSketchSet(bytes.NewReader(goldenV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := fromV1.WriteToVersion(&buf, SetVersion2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenV2) {
+		t.Error("v1 → read → v2 write does not reproduce the golden v2 envelope")
+	}
+	fromV2, err := ReadSketchSet(bytes.NewReader(goldenV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := fromV2.WriteToVersion(&buf, SetVersion1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenV1) {
+		t.Error("v2 → read → v1 write does not reproduce the golden v1 envelope")
+	}
+}
+
+// TestEnvelopeCompatRoundTrip drives the full v1 → read → v2 → write →
+// read chain on real builds of every kind: cost accounting, sketch
+// bytes and estimates must survive unchanged in both directions.
+func TestEnvelopeCompatRoundTrip(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 64, 1, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			set, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v1 bytes.Buffer
+			if _, err := set.WriteToVersion(&v1, SetVersion1); err != nil {
+				t.Fatal(err)
+			}
+			fromV1, err := ReadSketchSet(bytes.NewReader(v1.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v2 bytes.Buffer
+			if _, err := fromV1.WriteToVersion(&v2, SetVersion2); err != nil {
+				t.Fatal(err)
+			}
+			fromV2, err := ReadSketchSet(bytes.NewReader(v2.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromV2.Cost().Total != set.Cost().Total || fromV2.N() != set.N() {
+				t.Fatal("header or cost changed across the version round trip")
+			}
+			for u := 0; u < set.N(); u++ {
+				if !bytes.Equal(fromV2.SketchBytes(u), set.SketchBytes(u)) {
+					t.Fatalf("node %d: sketch bytes differ after v1→v2 round trip", u)
+				}
+			}
+			// And back: a lazily loaded set re-emits version 1 byte-identically
+			// without decoding anything.
+			var v1Again bytes.Buffer
+			if _, err := fromV2.WriteToVersion(&v1Again, SetVersion1); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(v1Again.Bytes(), v1.Bytes()) {
+				t.Fatal("v2 → v1 write does not reproduce the original v1 envelope")
+			}
+		})
+	}
+}
+
+// TestLazyLoadEquivalence pins the acceptance contract of envelope v2:
+// loading performs zero full-label decodes up front, and every query
+// against the lazily loaded set returns exactly what the eagerly loaded
+// version-1 set returns.
+func TestLazyLoadEquivalence(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 64, 1, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			set, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v1, v2 bytes.Buffer
+			if _, err := set.WriteToVersion(&v1, SetVersion1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := set.WriteToVersion(&v2, SetVersion2); err != nil {
+				t.Fatal(err)
+			}
+			eager, err := ReadSketchSet(bytes.NewReader(v1.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, err := ReadSketchSet(bytes.NewReader(v2.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := lazy.DecodedSketches(); got != 0 {
+				t.Fatalf("v2 load decoded %d labels up front, want 0", got)
+			}
+			if eager.DecodedSketches() != eager.N() {
+				t.Fatalf("v1 load is not eager: %d/%d decoded", eager.DecodedSketches(), eager.N())
+			}
+			// Size statistics come from the directory without decoding.
+			if lazy.MaxSketchWords() != eager.MaxSketchWords() || lazy.MeanSketchWords() != eager.MeanSketchWords() {
+				t.Error("directory-backed size stats disagree with decoded stats")
+			}
+			if got := lazy.DecodedSketches(); got != 0 {
+				t.Fatalf("size statistics decoded %d labels, want 0", got)
+			}
+			for u := 0; u < set.N(); u++ {
+				for v := u; v < set.N(); v += 3 {
+					if le, ee := lazy.Query(u, v), eager.Query(u, v); le != ee {
+						t.Fatalf("(%d,%d): lazy %d != eager %d", u, v, le, ee)
+					}
+				}
+			}
+			if got := lazy.DecodedSketches(); got != lazy.N() {
+				t.Errorf("after touching every node: %d/%d decoded", got, lazy.N())
+			}
+			if err := lazy.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+			if lazy.EnvelopeVersion() != SetVersion2 {
+				t.Error("Materialize dropped the envelope version")
+			}
+		})
+	}
+}
+
+// TestLazyConcurrentQueries hammers a lazily loaded set from many
+// goroutines racing to first-touch the same labels — the serving
+// layer's lock-free read pattern. Run under -race in CI: the atomic
+// decode slots must make concurrent first touches safe, and every
+// goroutine must see estimates identical to the eager set's.
+func TestLazyConcurrentQueries(t *testing.T) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 64, 1, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Build(g, Options{Kind: KindLandmark, Eps: 0.25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := set.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := ReadSketchSet(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int) {
+			for i := 0; i < 2000; i++ {
+				u, v := (i+seed)%set.N(), (i*31+17)%set.N()
+				got, err := lazy.QueryChecked(u, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := set.Query(u, v); got != want {
+					errs <- fmt.Errorf("(%d,%d): lazy %d != built %d", u, v, got, want)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lazy.DecodedSketches(); got != lazy.N() {
+		t.Errorf("decoded %d/%d after full coverage", got, lazy.N())
+	}
+}
+
+// reCRC recomputes a (possibly mutated) envelope's payload checksum so
+// corruption tests exercise the structural validation behind it rather
+// than the checksum itself.
+func reCRC(t *testing.T, env []byte) []byte {
+	t.Helper()
+	rest := env[len(setMagic)+1:]
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		t.Fatal("bad envelope length")
+	}
+	payload := rest[n : n+int(plen)]
+	out := bytes.Clone(env)
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// TestEnvelopeV2RejectsCrafted: version-2 envelopes with a valid
+// checksum but inconsistent directories or blobs must fail loudly — at
+// load for structural lies, at first touch for undecodable label bodies.
+func TestEnvelopeV2RejectsCrafted(t *testing.T) {
+	// goldenV2 payload map (absolute offsets): 8 kind tag, 9 node count,
+	// 10–31 cost/phases/net, 32–35 directory (len0, words0, len1,
+	// words1), 36–40 blob0, 41–45 blob1, 46–49 crc.
+	base := goldenV2
+
+	// Directory blob length lying beyond the payload.
+	bad := bytes.Clone(base)
+	bad[32] = 0x3f
+	if _, err := ReadSketchSet(bytes.NewReader(reCRC(t, bad))); err == nil {
+		t.Error("lying directory length accepted")
+	}
+
+	// Truncated directory: node count raised above the entries present,
+	// so later "directory entries" are really blob bytes and the blob
+	// region no longer lines up.
+	bad = bytes.Clone(base)
+	bad[9] = 0x4
+	if _, err := ReadSketchSet(bytes.NewReader(reCRC(t, bad))); err == nil {
+		t.Error("truncated directory accepted")
+	}
+
+	// Wrong owner in the second blob (offset 42 is its owner varint).
+	bad = bytes.Clone(base)
+	bad[42] = 0x8 // owner 4 instead of 1
+	if _, err := ReadSketchSet(bytes.NewReader(reCRC(t, bad))); err == nil {
+		t.Error("wrong sketch owner accepted")
+	}
+
+	// Wrong kind tag in the first blob.
+	bad = bytes.Clone(base)
+	bad[36] = byte(1) // TZ tag in a landmark set
+	if _, err := ReadSketchSet(bytes.NewReader(reCRC(t, bad))); err == nil {
+		t.Error("wrong sketch tag accepted")
+	}
+
+	// Structurally invalid blob body behind a correct tag and owner: the
+	// lazy load accepts it, the first touch must surface the error
+	// through the checked accessors without panicking.
+	bad = bytes.Clone(base)
+	bad[38] = 0x7e // first blob's entry count varint: far more than fits
+	set, err := ReadSketchSet(bytes.NewReader(reCRC(t, bad)))
+	if err != nil {
+		t.Fatalf("structurally lazy-valid envelope rejected at load: %v", err)
+	}
+	if _, qerr := set.QueryChecked(0, 1); qerr == nil {
+		t.Error("undecodable lazy label answered a query")
+	}
+	if merr := set.Materialize(); merr == nil {
+		t.Error("undecodable lazy label survived Materialize")
+	}
+
+	// A lying directory word count passes the load-time scan (size stats
+	// are directory-backed by design) but must be caught the moment the
+	// label is actually decoded.
+	bad = bytes.Clone(base)
+	bad[33] = 0x7 // first node's words: 7 instead of the real 2
+	set, err = ReadSketchSet(bytes.NewReader(reCRC(t, bad)))
+	if err != nil {
+		t.Fatalf("lying word count rejected at load: %v", err)
+	}
+	if got := set.SketchWords(0); got != 7 {
+		t.Fatalf("pre-touch SketchWords = %d, want the directory's 7", got)
+	}
+	if _, qerr := set.QueryChecked(0, 1); qerr == nil {
+		t.Error("label with lying directory word count answered a query")
+	}
+}

@@ -37,6 +37,10 @@ func FuzzParseSketch(f *testing.F) {
 	f.Add([]byte{1})
 	f.Add([]byte{1, 0, 0xff, 0xff, 0xff, 0xff, 0x0f})
 	f.Add([]byte{5, 1, 2, 3})
+	// Envelope headers (both versions) fed to the label parser: ParseSketch
+	// must reject container bytes as cleanly as corrupt labels.
+	f.Add([]byte{0x44, 0x53, 0x4b, 0x53, 0x45, 0x54, 0x1, 0x24, 0x2, 0x2})
+	f.Add([]byte{0x44, 0x53, 0x4b, 0x53, 0x45, 0x54, 0x2, 0x26, 0x2, 0x2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sk, err := ParseSketch(data)
 		if err != nil {
@@ -60,6 +64,59 @@ func FuzzParseSketch(f *testing.F) {
 		out2, _ := again.MarshalBinary()
 		if !bytes.Equal(out, out2) {
 			t.Fatal("marshal/parse/marshal not a fixed point")
+		}
+	})
+}
+
+// FuzzReadSketchSet hammers the envelope reader with both versions'
+// headers, truncated directories, and arbitrary mutations. Whatever
+// arrives, it must never panic; what it accepts must materialize
+// cleanly or fail with an error, and a materialized set must round-trip
+// through WriteTo.
+func FuzzReadSketchSet(f *testing.F) {
+	g, err := NewRandomWeightedGraph(FamilyGeometric, 16, 1, 9, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, kind := range []Kind{KindTZ, KindLandmark, KindCDG, KindGraceful} {
+		set, err := Build(g, Options{Kind: kind, K: 2, Eps: 0.25, Seed: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, version := range []int{SetVersion1, SetVersion2} {
+			var buf bytes.Buffer
+			if _, err := set.WriteToVersion(&buf, version); err != nil {
+				f.Fatal(err)
+			}
+			env := buf.Bytes()
+			f.Add(bytes.Clone(env))
+			f.Add(bytes.Clone(env[:len(env)/2])) // truncated mid-payload (v2: mid-directory)
+			f.Add(bytes.Clone(env[:len(env)-2])) // truncated checksum
+		}
+	}
+	f.Add([]byte("DSKSET"))
+	f.Add([]byte{0x44, 0x53, 0x4b, 0x53, 0x45, 0x54, 0x2, 0x0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := ReadSketchSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if set.N() == 0 || set.Kind() == "" {
+			t.Fatal("accepted envelope with no sketches or kind")
+		}
+		if err := set.Materialize(); err != nil {
+			return // lazily discovered corruption is an error, never a panic
+		}
+		var buf bytes.Buffer
+		if _, err := set.WriteTo(&buf); err != nil {
+			t.Fatalf("re-write of materialized set: %v", err)
+		}
+		again, err := ReadSketchSet(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-written set: %v", err)
+		}
+		if again.N() != set.N() || again.Kind() != set.Kind() {
+			t.Fatal("round trip changed the set header")
 		}
 	})
 }

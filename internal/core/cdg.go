@@ -105,19 +105,27 @@ func BuildLandmark(g *graph.Graph, opt SlackOptions) (*LandmarkResult, error) {
 	out := &LandmarkResult{Net: net, Cost: res.Cost}
 	out.Labels = make([]*sketch.LandmarkLabel, n)
 	for u := 0; u < n; u++ {
-		// The bunch map iterates in random order; collect entries and
-		// canonicalize once rather than paying a sorted insert per entry.
-		entries := make([]sketch.Entry, 0, len(res.Labels[u].Bunch)+1)
-		for w, e := range res.Labels[u].Bunch {
-			if levels[u] == 0 && w == u {
-				continue // the net node's own entry is pinned to 0 below
+		// The harvested bunch is already canonical (sorted ascending,
+		// unique), so the landmark entries come out sorted by a single
+		// merge pass: copy the bunch, splicing the net node's own 0-entry
+		// into its ID position (and dropping any stale self entry).
+		bunch := res.Labels[u].Bunch
+		entries := make([]sketch.Entry, 0, len(bunch)+1)
+		selfDone := levels[u] != 0
+		for _, it := range bunch {
+			if !selfDone && u <= it.Node {
+				entries = append(entries, sketch.Entry{Net: u, D: 0})
+				selfDone = true
 			}
-			entries = append(entries, sketch.Entry{Net: w, D: e.Dist})
+			if it.Node == u {
+				continue
+			}
+			entries = append(entries, sketch.Entry{Net: it.Node, D: it.Dist})
 		}
-		if levels[u] == 0 {
+		if !selfDone {
 			entries = append(entries, sketch.Entry{Net: u, D: 0})
 		}
-		out.Labels[u] = sketch.NewLandmarkLabelFromEntries(u, entries)
+		out.Labels[u] = &sketch.LandmarkLabel{Owner: u, Entries: entries}
 	}
 	return out, nil
 }

@@ -56,9 +56,9 @@ func TestDetectionCrashStallsCleanly(t *testing.T) {
 		if u == 3 || dns[u].phase != -1 {
 			continue
 		}
-		for w, e := range dns[u].label.Bunch {
-			want, ok := cent.Labels[u].Bunch[w]
-			if !ok || e.Dist < want.Dist {
+		for _, it := range dns[u].label.Bunch {
+			want, ok := cent.Labels[u].Get(it.Node)
+			if !ok || it.Dist < want.Dist {
 				t.Fatalf("node %d has a bunch entry better than reality after a crash", u)
 			}
 		}

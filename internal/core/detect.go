@@ -260,7 +260,7 @@ func (nd *detectNode) harvestPhase() {
 		if v == nd.id {
 			continue
 		}
-		nd.label.Bunch[v] = sketch.BunchEntry{Dist: st.best, Level: i}
+		nd.label.Bunch = append(nd.label.Bunch, sketch.BunchItem{Node: v, Dist: st.best, Level: i})
 		if c := (pivotCand{dist: st.best, node: v}); lessCand(c, cand) {
 			cand = c
 		}

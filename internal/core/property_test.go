@@ -62,12 +62,12 @@ func TestPropertyBunchThreshold(t *testing.T) {
 				if l+1 < k {
 					thresh = lab.Pivots[l+1].Dist
 				}
-				_, in := lab.Bunch[w]
+				it, in := lab.Get(w)
 				want := ap[u][w] < thresh
 				if in != want {
 					return false
 				}
-				if in && lab.Bunch[w].Dist != ap[u][w] {
+				if in && it.Dist != ap[u][w] {
 					return false
 				}
 			}

@@ -42,9 +42,8 @@ func labelChunks(l *sketch.TZLabel) []labelChunkMsg {
 		chunks = append(chunks, labelChunkMsg{Seq: seq, Kind: chunkPivot, Node: p.Node, Dist: p.Dist, Level: i})
 		seq++
 	}
-	for _, w := range l.BunchNodes() {
-		e := l.Bunch[w]
-		chunks = append(chunks, labelChunkMsg{Seq: seq, Kind: chunkBunch, Node: w, Dist: e.Dist, Level: e.Level})
+	for _, it := range l.Bunch {
+		chunks = append(chunks, labelChunkMsg{Seq: seq, Kind: chunkBunch, Node: it.Node, Dist: it.Dist, Level: it.Level})
 		seq++
 	}
 	return chunks
@@ -55,7 +54,10 @@ func (s *shipNode) applyChunk(m labelChunkMsg) {
 	case chunkPivot:
 		s.label.Pivots[m.Level] = sketch.Pivot{Node: m.Node, Dist: m.Dist}
 	case chunkBunch:
-		s.label.Bunch[m.Node] = sketch.BunchEntry{Dist: m.Dist, Level: m.Level}
+		// Chunks travel down the cell tree in emission order — ascending
+		// node ID — so Set stays on its O(1) append fast path while still
+		// tolerating any order.
+		s.label.Set(m.Node, m.Dist, m.Level)
 	default:
 		panic(fmt.Sprintf("core: bad chunk kind %d", m.Kind))
 	}

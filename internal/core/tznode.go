@@ -92,7 +92,10 @@ func (nd *tzNode) finishPhase() {
 		if v == nd.id {
 			continue
 		}
-		nd.label.Bunch[v] = sketch.BunchEntry{Dist: d, Level: i}
+		// nd.best iterates in arbitrary map order; items accumulate
+		// unsorted across phases and the harvest canonicalizes the label
+		// once, instead of paying a sorted insert per item.
+		nd.label.Bunch = append(nd.label.Bunch, sketch.BunchItem{Node: v, Dist: d, Level: i})
 		if c := (pivotCand{dist: d, node: v}); lessCand(c, cand) {
 			cand = c
 		}

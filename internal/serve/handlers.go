@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 
 	"distsketch"
 )
@@ -65,10 +68,19 @@ type UpdateReply struct {
 
 // StatsReply is the GET /stats response.
 type StatsReply struct {
-	Kind             string      `json:"kind"`
-	Nodes            int         `json:"nodes"`
-	MaxSketchWords   int         `json:"max_sketch_words"`
-	MeanSketchWords  float64     `json:"mean_sketch_words"`
+	Kind            string  `json:"kind"`
+	Nodes           int     `json:"nodes"`
+	MaxSketchWords  int     `json:"max_sketch_words"`
+	MeanSketchWords float64 `json:"mean_sketch_words"`
+	// EnvelopeVersion is the envelope version the served set was loaded
+	// from (0 when the set was built in process rather than loaded).
+	EnvelopeVersion int `json:"envelope_version"`
+	// SketchesDecoded counts the set's currently decoded sketches; with
+	// a lazily loaded (version-2) envelope it grows from 0 toward Nodes
+	// as traffic touches labels.
+	SketchesDecoded int `json:"sketches_decoded"`
+	// SketchesPending counts labels not yet decoded (lazy sets only).
+	SketchesPending  int         `json:"sketches_pending"`
 	Cost             CostReply   `json:"cost"`
 	Phases           []CostPhase `json:"phases,omitempty"`
 	QueriesServed    int64       `json:"queries_served"`
@@ -184,11 +196,39 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One snapshot for the whole batch: every pair is answered from the
 	// same set version even if a repair swaps mid-request.
 	set := s.cur.Load().set
-	reply := BatchReply{Results: make([]QueryResult, len(req.Pairs))}
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	// Answer in (u, v)-sorted order while keeping the reply in request
+	// order: a batch with repeated sources runs each source's queries
+	// back to back, so the merge-intersections of one source's label hit
+	// a warm cache (and a lazily loaded set decodes that label exactly
+	// once for its whole group) instead of re-faulting it per scattered
+	// pair. Sorting n small ints is noise next to the queries it speeds.
+	order := sc.order[:0]
+	for i := range req.Pairs {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		px, py := req.Pairs[order[x]], req.Pairs[order[y]]
+		if px.U != py.U {
+			return px.U < py.U
+		}
+		return px.V < py.V
+	})
+	sc.order = order
+	results := sc.results[:0]
+	if results == nil || cap(results) < len(req.Pairs) {
+		// Never leave results nil (a fresh pool entry): an empty batch
+		// must encode as "results":[], not "results":null.
+		results = make([]QueryResult, 0, len(req.Pairs))
+	}
+	results = results[:len(req.Pairs)]
+	sc.results = results
 	served := int64(0)
-	for i, p := range req.Pairs {
+	for _, i := range order {
+		p := req.Pairs[i]
 		d, err := set.QueryChecked(p.U, p.V)
-		reply.Results[i] = result(p.U, p.V, d, err)
+		results[i] = result(p.U, p.V, d, err)
 		if err == nil {
 			served++
 		}
@@ -196,8 +236,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One contended atomic per batch, not per pair — the counter must
 	// not tax the hot path batching exists to amortize.
 	s.queries.Add(served)
-	writeJSON(w, http.StatusOK, reply)
+	// Encode into the pooled buffer and write in one shot: one reused
+	// allocation per batch instead of an encoder buffer per request.
+	sc.buf.Reset()
+	if err := json.NewEncoder(&sc.buf).Encode(BatchReply{Results: results}); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding reply: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.buf.Bytes())
 }
+
+// batchScratch is the per-batch reusable state: the sort permutation,
+// the result slice the reply serializes from, and the JSON output
+// buffer. Pooling it keeps POST /query's per-request allocations flat
+// regardless of batch size.
+type batchScratch struct {
+	order   []int
+	results []QueryResult
+	buf     bytes.Buffer
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	u, err := strconv.Atoi(r.PathValue("u"))
@@ -224,11 +285,15 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.cur.Load()
 	cost := st.set.Cost()
+	decoded := st.set.DecodedSketches()
 	reply := StatsReply{
 		Kind:            string(st.set.Kind()),
 		Nodes:           st.set.N(),
 		MaxSketchWords:  st.set.MaxSketchWords(),
 		MeanSketchWords: st.set.MeanSketchWords(),
+		EnvelopeVersion: st.set.EnvelopeVersion(),
+		SketchesDecoded: decoded,
+		SketchesPending: st.set.N() - decoded,
 		Cost: CostReply{
 			Rounds:          cost.Total.Rounds,
 			Messages:        cost.Total.Messages,

@@ -199,6 +199,23 @@ func TestBatchMalformed(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/query", `{"pairs":[]}`, &reply); code != http.StatusOK || len(reply.Results) != 0 {
 		t.Errorf("empty batch: status %d results %d, want 200 with 0", code, len(reply.Results))
 	}
+	// The empty reply must be "results":[] — never "results":null, and
+	// not dependent on what an earlier batch left in the scratch pool.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"pairs":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(raw), `"results":[]`) {
+			t.Errorf("empty batch body = %s, want \"results\":[]", raw)
+		}
+		// Populate the pool's scratch between the two empty batches.
+		if code := postJSON(t, ts.URL+"/query", `{"pairs":[{"u":0,"v":1}]}`, nil); code != http.StatusOK {
+			t.Fatalf("warmup batch: status %d", code)
+		}
+	}
 }
 
 func TestSketchEndpoint(t *testing.T) {

@@ -55,7 +55,10 @@ func getDist(buf *bytes.Reader) (graph.Dist, error) {
 	return graph.Dist(v), nil
 }
 
-// MarshalTZ encodes a TZ label.
+// MarshalTZ encodes a TZ label. Bunch items are emitted in their stored
+// (sorted, unique) order — the same ascending-ID order the old map-backed
+// encoder produced via BunchNodes, so the wire bytes are unchanged across
+// the sorted-slice refactor.
 func MarshalTZ(l *TZLabel) []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(TagTZ)
@@ -66,11 +69,10 @@ func MarshalTZ(l *TZLabel) []byte {
 		putDist(&buf, p.Dist)
 	}
 	putInt(&buf, int64(len(l.Bunch)))
-	for _, w := range l.BunchNodes() {
-		e := l.Bunch[w]
-		putInt(&buf, int64(w))
-		putDist(&buf, e.Dist)
-		putInt(&buf, int64(e.Level))
+	for _, it := range l.Bunch {
+		putInt(&buf, int64(it.Node))
+		putDist(&buf, it.Dist)
+		putInt(&buf, int64(it.Level))
 	}
 	return buf.Bytes()
 }
@@ -133,6 +135,14 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 	if m > int64(r.Len())/3+1 {
 		return nil, fmt.Errorf("sketch: bunch size %d exceeds input", m)
 	}
+	// Our encoder always emits the bunch in ascending node-ID order, but
+	// the input is untrusted wire bytes, so unsorted or duplicated node
+	// IDs are canonicalized — sorted, duplicates collapsed to the
+	// smallest distance — rather than trusted. (The former map
+	// representation silently absorbed duplicates last-entry-wins, making
+	// the decoded label depend on adversarial entry order.)
+	l.Bunch = make([]BunchItem, 0, m)
+	canonical := true
 	for j := 0; j < int(m); j++ {
 		w, err := getInt(r)
 		if err != nil {
@@ -146,8 +156,18 @@ func readTZ(r *bytes.Reader) (*TZLabel, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.Bunch[int(w)] = BunchEntry{Dist: d, Level: int(lev)}
+		if n := len(l.Bunch); n > 0 && int(w) <= l.Bunch[n-1].Node {
+			canonical = false
+		}
+		l.Bunch = append(l.Bunch, BunchItem{Node: int(w), Dist: d, Level: int(lev)})
 	}
+	if !canonical {
+		l.Bunch = CanonicalizeBunch(l.Bunch)
+	}
+	// Decoded labels are immutable from here on (decode-once serving), so
+	// the DistTo acceleration index is built eagerly — a lazy build would
+	// race under concurrent queries.
+	l.buildProbe()
 	return l, nil
 }
 
@@ -339,5 +359,50 @@ func UnmarshalGraceful(data []byte) (*GracefulLabel, error) {
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("sketch: %d trailing bytes", r.Len())
 	}
+	l.compact()
 	return l, nil
+}
+
+// compact repacks the per-level net labels' bunches, pivots and probe
+// tables into three contiguous arenas. A graceful query walks all
+// ⌈log n⌉ levels of both labels, so the flat layout keeps one decoded
+// label on a handful of cache lines and pages instead of 3·⌈log n⌉
+// scattered allocations — decode-once serving reads the arenas millions
+// of times. Contents are unchanged; only the backing storage moves.
+func (l *GracefulLabel) compact() {
+	items, pivots, slots, nets := 0, 0, 0, 0
+	for _, c := range l.Levels {
+		if c.NetLabel != nil {
+			items += len(c.NetLabel.Bunch)
+			pivots += len(c.NetLabel.Pivots)
+			slots += len(c.NetLabel.probe)
+			nets++
+		}
+	}
+	levelArena := make([]CDGLabel, len(l.Levels))
+	netArena := make([]TZLabel, 0, nets)
+	itemArena := make([]BunchItem, 0, items)
+	pivotArena := make([]Pivot, 0, pivots)
+	slotArena := make([]probeSlot, 0, slots)
+	for i, c := range l.Levels {
+		levelArena[i] = *c
+		l.Levels[i] = &levelArena[i]
+		if c.NetLabel == nil {
+			continue
+		}
+		netArena = append(netArena, *c.NetLabel)
+		nl := &netArena[len(netArena)-1]
+		levelArena[i].NetLabel = nl
+		is := len(itemArena)
+		itemArena = append(itemArena, nl.Bunch...)
+		nl.Bunch = itemArena[is:len(itemArena):len(itemArena)]
+		ps := len(pivotArena)
+		pivotArena = append(pivotArena, nl.Pivots...)
+		nl.Pivots = pivotArena[ps:len(pivotArena):len(pivotArena)]
+		if t := nl.probe; t != nil {
+			ss := len(slotArena)
+			slotArena = append(slotArena, t...)
+			nl.probe = slotArena[ss:len(slotArena):len(slotArena)]
+		}
+	}
 }

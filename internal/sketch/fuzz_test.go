@@ -15,21 +15,41 @@ func FuzzUnmarshalTZ(f *testing.F) {
 	l := NewTZLabel(3, 2)
 	l.Pivots[0] = Pivot{Node: 3, Dist: 0}
 	l.Pivots[1] = Pivot{Node: 9, Dist: 7}
-	l.Bunch[9] = BunchEntry{Dist: 7, Level: 1}
+	l.Set(9, 7, 1)
 	f.Add(MarshalTZ(l))
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Add([]byte{1, 0, 0, 0})
+	// Unsorted and duplicated bunch node ids: legal varint streams our
+	// encoder never produces; the decoder must canonicalize them.
+	f.Add([]byte{1, 0, 2, 4, 0, // owner 0, k=1, pivot (2, 0)
+		6,        // bunch count 3
+		18, 8, 0, // node 9, dist 4, level 0
+		6, 12, 0, // node 3, dist 6, level 0
+		18, 4, 0, // node 9, dist 2, level 0
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lab, err := UnmarshalTZ(data)
-		if err == nil && lab == nil {
-			t.Error("nil label without error")
+		if err != nil {
+			return
 		}
-		if err == nil {
-			// Decoded labels must round-trip.
-			if _, err2 := UnmarshalTZ(MarshalTZ(lab)); err2 != nil {
-				t.Errorf("re-marshal failed: %v", err2)
+		if lab == nil {
+			t.Fatal("nil label without error")
+		}
+		// Decoded bunches are canonical: strictly ascending unique ids.
+		for i := 1; i < len(lab.Bunch); i++ {
+			if lab.Bunch[i].Node <= lab.Bunch[i-1].Node {
+				t.Fatalf("decoded bunch not canonical at %d: %+v", i, lab.Bunch)
 			}
+		}
+		// And round-trip to a marshal fixed point.
+		blob := MarshalTZ(lab)
+		lab2, err2 := UnmarshalTZ(blob)
+		if err2 != nil {
+			t.Fatalf("re-unmarshal failed: %v", err2)
+		}
+		if !bytes.Equal(MarshalTZ(lab2), blob) {
+			t.Error("canonical form is not a marshal fixed point")
 		}
 	})
 }
@@ -90,7 +110,7 @@ func FuzzQueryTZ(f *testing.F) {
 	a := NewTZLabel(0, 2)
 	a.Pivots[0] = Pivot{Node: 0, Dist: 0}
 	a.Pivots[1] = Pivot{Node: 7, Dist: 4}
-	a.Bunch[7] = BunchEntry{Dist: 4, Level: 1}
+	a.Set(7, 4, 1)
 	f.Add(MarshalTZ(a), MarshalTZ(a))
 	f.Fuzz(func(t *testing.T, da, db []byte) {
 		la, errA := UnmarshalTZ(da)

@@ -134,30 +134,92 @@ type Pivot struct {
 	Dist graph.Dist
 }
 
-// BunchEntry is one bunch member: its distance from the label owner and
-// its top level in the hierarchy.
-type BunchEntry struct {
+// BunchItem is one bunch member: the member's node ID, its distance from
+// the label owner, and its top level in the hierarchy.
+type BunchItem struct {
+	Node  int
 	Dist  graph.Dist
 	Level int
 }
 
 // TZLabel is the Thorup–Zwick label L(u) of §3.1: the pivots p_0..p_{k-1}
 // with their distances, and the bunch B(u) with distances.
+//
+// Bunch items are kept sorted by ascending node ID with unique keys —
+// the same representation invariant LandmarkLabel.Entries carries. The
+// sorted order is what makes DistTo a branch-predictable binary search
+// (the probe QueryTZ issues per level) and QueryTZBest's bunch
+// intersection a zero-allocation two-pointer merge. Every producer — the
+// builders, the wire decoder, and the label-shipping pipeline —
+// maintains the invariant; Validate checks it.
 type TZLabel struct {
 	Owner  int
 	K      int
-	Pivots []Pivot            // length K; Pivots[0] = {Owner, 0} when A_0 = V
-	Bunch  map[int]BunchEntry // node -> entry
+	Pivots []Pivot     // length K; Pivots[0] = {Owner, 0} when A_0 = V
+	Bunch  []BunchItem // sorted ascending by Node, unique keys
+
+	// probe is a derived open-addressing index over Bunch (slot → node,
+	// bunch index), built once by the wire decoder so that decode-once
+	// serving answers DistTo in one or two contiguous loads instead of a
+	// binary search's dependent cache misses. It is pure acceleration
+	// state: nil is always valid (DistTo falls back to the sorted-slice
+	// search), Set and Canonicalize drop it, and it never travels on the
+	// wire. len(probe) is a power of two ≥ 2·len(Bunch).
+	probe []probeSlot
+}
+
+// probeSlot is one open-addressing slot: the bunch member's node ID and
+// its index in the sorted Bunch slice. Node -1 marks an empty slot. The
+// compact 8-byte slot keeps a whole table on a few cache lines — the
+// table working set, not the per-probe instruction count, is what bounds
+// the query throughput of large decoded sets.
+type probeSlot struct {
+	Node int32
+	Idx  int32
+}
+
+// buildProbe constructs the DistTo acceleration index. Labels whose node
+// IDs do not fit the compact slot layout (negative or ≥ 2³¹, possible
+// only in adversarial wire input) keep probe nil and use the fallback.
+// An empty bunch gets a minimal all-empty table, so indexed labels
+// answer every probe from the table alone.
+func (l *TZLabel) buildProbe() {
+	l.probe = nil
+	size := 4
+	for size < 2*len(l.Bunch) {
+		size *= 2
+	}
+	for _, it := range l.Bunch {
+		if it.Node < 0 || it.Node > math.MaxInt32 {
+			return
+		}
+	}
+	t := make([]probeSlot, size)
+	for i := range t {
+		t[i].Node = -1
+	}
+	mask := uint32(size - 1)
+	for i, it := range l.Bunch {
+		s := (uint32(it.Node) * 0x9E3779B1) & mask
+		for t[s].Node != -1 {
+			s = (s + 1) & mask
+		}
+		t[s] = probeSlot{Node: int32(it.Node), Idx: int32(i)}
+	}
+	l.probe = t
 }
 
 // NewTZLabel allocates an empty label for owner with k levels.
 func NewTZLabel(owner, k int) *TZLabel {
-	l := &TZLabel{Owner: owner, K: k, Pivots: make([]Pivot, k), Bunch: make(map[int]BunchEntry)}
+	l := &TZLabel{Owner: owner, K: k, Pivots: make([]Pivot, k)}
 	for i := range l.Pivots {
 		l.Pivots[i] = Pivot{Node: -1, Dist: graph.Inf}
 	}
 	return l
 }
+
+// Len returns the number of bunch members stored in the label.
+func (l *TZLabel) Len() int { return len(l.Bunch) }
 
 // SizeWords returns the label size in O(log n)-bit words: two words per
 // pivot (ID, distance) and three per bunch entry (ID, distance, level).
@@ -166,29 +228,151 @@ func (l *TZLabel) SizeWords() int {
 	return 2*len(l.Pivots) + 3*len(l.Bunch)
 }
 
-// DistTo returns the bunch distance to node w, or (Inf, false).
+// Get returns the bunch item for node w, or (zero, false), by binary
+// search over the sorted bunch.
+func (l *TZLabel) Get(w int) (BunchItem, bool) {
+	lo, hi := 0, len(l.Bunch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.Bunch[mid].Node < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.Bunch) && l.Bunch[lo].Node == w {
+		return l.Bunch[lo], true
+	}
+	return BunchItem{}, false
+}
+
+// Set inserts or replaces the bunch item for node w, preserving the
+// sorted order. Appending in ascending ID order — the natural order for
+// the builders and the shipping pipeline, which emit sorted labels — is
+// O(1) amortized.
+func (l *TZLabel) Set(w int, d graph.Dist, level int) {
+	l.probe = nil // derived index goes stale on any mutation
+	if n := len(l.Bunch); n == 0 || w > l.Bunch[n-1].Node {
+		l.Bunch = append(l.Bunch, BunchItem{Node: w, Dist: d, Level: level})
+		return
+	}
+	i := sort.Search(len(l.Bunch), func(i int) bool { return l.Bunch[i].Node >= w })
+	if i < len(l.Bunch) && l.Bunch[i].Node == w {
+		l.Bunch[i] = BunchItem{Node: w, Dist: d, Level: level}
+		return
+	}
+	l.Bunch = append(l.Bunch, BunchItem{})
+	copy(l.Bunch[i+1:], l.Bunch[i:])
+	l.Bunch[i] = BunchItem{Node: w, Dist: d, Level: level}
+}
+
+// distToLinearCut is the bunch size below which DistTo scans linearly:
+// a short forward scan over contiguous items pipelines better than a
+// binary search's serialized dependent loads.
+const distToLinearCut = 24
+
+// DistTo returns the bunch distance to node w, or (Inf, false). This is
+// the probe on QueryTZ's hot path: decoded labels answer from the
+// open-addressing index in one or two contiguous loads; labels without
+// the index (under construction, or adversarial node IDs) scan the
+// sorted bunch — linearly while small, by binary search beyond
+// distToLinearCut. The fast path is kept small enough to inline.
 func (l *TZLabel) DistTo(w int) (graph.Dist, bool) {
 	if w == l.Owner {
 		return 0, true
 	}
-	if e, ok := l.Bunch[w]; ok {
-		return e.Dist, true
+	if t := l.probe; t != nil {
+		if uint(w) > math.MaxInt32 {
+			return graph.Inf, false // indexed labels hold only int32-range IDs
+		}
+		mask := uint32(len(t) - 1)
+		for s := (uint32(w) * 0x9E3779B1) & mask; ; s = (s + 1) & mask {
+			n := t[s].Node
+			if n == int32(w) {
+				return l.Bunch[t[s].Idx].Dist, true
+			}
+			if n == -1 {
+				return graph.Inf, false
+			}
+		}
+	}
+	return l.distToScan(w)
+}
+
+// distToScan is DistTo's path over the canonical sorted slice, for
+// labels without the probe index (builders mid-construction, adversarial
+// node IDs).
+func (l *TZLabel) distToScan(w int) (graph.Dist, bool) {
+	b := l.Bunch
+	if len(b) <= distToLinearCut {
+		for i := range b {
+			if b[i].Node >= w {
+				if b[i].Node == w {
+					return b[i].Dist, true
+				}
+				break
+			}
+		}
+		return graph.Inf, false
+	}
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid].Node < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b) && b[lo].Node == w {
+		return b[lo].Dist, true
 	}
 	return graph.Inf, false
 }
 
-// BunchNodes returns the sorted bunch member IDs (for deterministic
-// iteration in tests and serialization).
-func (l *TZLabel) BunchNodes() []int {
-	ids := make([]int, 0, len(l.Bunch))
-	for w := range l.Bunch {
-		ids = append(ids, w)
+// Canonicalize restores the representation invariant after items were
+// appended out of order: the bunch is sorted by node ID and duplicate IDs
+// collapse to the smallest distance. Builders that harvest phase results
+// in arbitrary order append freely and canonicalize once, rather than
+// paying a sorted insert per item.
+func (l *TZLabel) Canonicalize() {
+	l.probe = nil // derived index goes stale on any mutation
+	l.Bunch = CanonicalizeBunch(l.Bunch)
+}
+
+// CanonicalizeBunch sorts items by node ID and collapses duplicate IDs to
+// the smallest distance (keeping that item's level), returning the
+// canonical slice (reusing the input's storage).
+func CanonicalizeBunch(items []BunchItem) []BunchItem {
+	sort.Slice(items, func(i, j int) bool { return items[i].Node < items[j].Node })
+	out := items[:0]
+	for _, it := range items {
+		if n := len(out); n > 0 && out[n-1].Node == it.Node {
+			if it.Dist < out[n-1].Dist {
+				out[n-1].Dist = it.Dist
+				out[n-1].Level = it.Level
+			}
+			continue
+		}
+		out = append(out, it)
 	}
-	sort.Ints(ids)
+	return out
+}
+
+// BunchNodes returns the bunch member IDs in ascending order. The slice
+// is freshly allocated but never re-sorted — the sorted representation
+// makes it a straight copy of the item keys. Hot paths iterate Bunch
+// directly instead.
+func (l *TZLabel) BunchNodes() []int {
+	ids := make([]int, len(l.Bunch))
+	for i, it := range l.Bunch {
+		ids[i] = it.Node
+	}
 	return ids
 }
 
-// Validate checks structural invariants of a label (used by tests).
+// Validate checks structural invariants of a label (used by tests),
+// including the sorted-unique bunch representation invariant.
 func (l *TZLabel) Validate() error {
 	if len(l.Pivots) != l.K {
 		return fmt.Errorf("sketch: %d pivots for k=%d", len(l.Pivots), l.K)
@@ -203,17 +387,21 @@ func (l *TZLabel) Validate() error {
 		}
 		prev = p.Dist
 	}
-	for w, e := range l.Bunch {
-		if e.Level < 0 || e.Level >= l.K {
-			return fmt.Errorf("sketch: bunch node %d has level %d outside [0,%d)", w, e.Level, l.K)
+	for i, it := range l.Bunch {
+		if i > 0 && it.Node <= l.Bunch[i-1].Node {
+			return fmt.Errorf("sketch: bunch not strictly ascending at index %d (%d after %d)",
+				i, it.Node, l.Bunch[i-1].Node)
 		}
-		if e.Dist < 0 || e.Dist == graph.Inf {
-			return fmt.Errorf("sketch: bunch node %d has bad distance %d", w, e.Dist)
+		if it.Level < 0 || it.Level >= l.K {
+			return fmt.Errorf("sketch: bunch node %d has level %d outside [0,%d)", it.Node, it.Level, l.K)
+		}
+		if it.Dist < 0 || it.Dist == graph.Inf {
+			return fmt.Errorf("sketch: bunch node %d has bad distance %d", it.Node, it.Dist)
 		}
 		// Bunch membership requires d(u,w) < d(u, A_{level+1}).
-		if e.Level+1 < l.K && e.Dist >= l.Pivots[e.Level+1].Dist {
+		if it.Level+1 < l.K && it.Dist >= l.Pivots[it.Level+1].Dist {
 			return fmt.Errorf("sketch: bunch node %d at dist %d not < d(u,A_%d)=%d",
-				w, e.Dist, e.Level+1, l.Pivots[e.Level+1].Dist)
+				it.Node, it.Dist, it.Level+1, l.Pivots[it.Level+1].Dist)
 		}
 	}
 	return nil
@@ -229,22 +417,114 @@ func (l *TZLabel) Validate() error {
 // never worse, and keeps the same stretch proof (non-membership in B(v)
 // implies non-membership in B_i(v), which is all the induction uses).
 func QueryTZ(a, b *TZLabel) graph.Dist {
+	return queryTZBounded(a, b, graph.Inf)
+}
+
+// queryTZBounded is QueryTZ's level walk with a sound early exit for
+// callers that only consume estimates below bound (QueryGraceful's
+// running minimum): any hit at or above level i returns p.Dist + d ≥
+// p.Dist, and pivot distances are monotone nondecreasing in the level
+// (a construction invariant, checked by Validate), so once BOTH sides'
+// level-i pivot distances reach bound every possible future first hit
+// is ≥ bound and the walk returns Inf — which such a caller treats
+// exactly as it would have treated the real (discarded) estimate. The
+// exit is taken only for finite bounds: with bound = Inf this is plain
+// QueryTZ, byte-for-byte — even on adversarial wire-legal labels whose
+// pivot distances are NOT monotone (the decoder does not enforce the
+// invariant), an Inf-distance pivot level never cuts the walk short of
+// a later finite hit.
+func queryTZBounded(a, b *TZLabel, bound graph.Dist) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
+	}
+	ta, tb := a.probe, b.probe
+	if ta == nil || tb == nil {
+		return queryTZScan(a, b, bound)
 	}
 	k := a.K
 	if b.K < k {
 		k = b.K
 	}
+	// The walk open-codes the probe-table lookup of DistTo: the level
+	// loop plus probe is the whole serving hot path of the TZ, CDG and
+	// graceful kinds, and the call overhead of a non-inlinable DistTo is
+	// measurable at this grain. A pivot node above the int32 range cannot
+	// be in an indexed bunch, so it is a definite miss.
+	//
+	// The pivot chain reuses the same node across consecutive levels
+	// (p_i(u) only changes when level i contributes a better candidate),
+	// so the walk skips a pivot equal to the side's previous probe: a
+	// repeated node carries the same pivot distance and the same
+	// membership answer, so results are unchanged.
+	maskA, maskB := uint32(len(ta)-1), uint32(len(tb)-1)
+	lastA, lastB := -1, -1
 	for i := 0; i < k; i++ {
-		if p := a.Pivots[i]; p.Node >= 0 {
-			if d, ok := b.DistTo(p.Node); ok {
-				return graph.AddDist(p.Dist, d)
+		pa, pb := a.Pivots[i], b.Pivots[i]
+		if bound != graph.Inf && pa.Dist >= bound && pb.Dist >= bound {
+			return graph.Inf
+		}
+		if w := pa.Node; w >= 0 && w != lastA {
+			lastA = w
+			if w == b.Owner {
+				return graph.AddDist(pa.Dist, 0)
+			}
+			if uint(w) <= math.MaxInt32 {
+				for s := (uint32(w) * 0x9E3779B1) & maskB; ; s = (s + 1) & maskB {
+					n := tb[s].Node
+					if n == int32(w) {
+						return graph.AddDist(pa.Dist, b.Bunch[tb[s].Idx].Dist)
+					}
+					if n == -1 {
+						break
+					}
+				}
 			}
 		}
-		if p := b.Pivots[i]; p.Node >= 0 {
-			if d, ok := a.DistTo(p.Node); ok {
-				return graph.AddDist(p.Dist, d)
+		if w := pb.Node; w >= 0 && w != lastB {
+			lastB = w
+			if w == a.Owner {
+				return graph.AddDist(pb.Dist, 0)
+			}
+			if uint(w) <= math.MaxInt32 {
+				for s := (uint32(w) * 0x9E3779B1) & maskA; ; s = (s + 1) & maskA {
+					n := ta[s].Node
+					if n == int32(w) {
+						return graph.AddDist(pb.Dist, a.Bunch[ta[s].Idx].Dist)
+					}
+					if n == -1 {
+						break
+					}
+				}
+			}
+		}
+	}
+	return graph.Inf
+}
+
+// queryTZScan is the queryTZBounded walk for label pairs where at least
+// one side lacks the probe index (labels still under construction, or
+// adversarial node IDs): identical level walk, probes via DistTo.
+func queryTZScan(a, b *TZLabel, bound graph.Dist) graph.Dist {
+	k := a.K
+	if b.K < k {
+		k = b.K
+	}
+	lastA, lastB := -1, -1
+	for i := 0; i < k; i++ {
+		pa, pb := a.Pivots[i], b.Pivots[i]
+		if bound != graph.Inf && pa.Dist >= bound && pb.Dist >= bound {
+			return graph.Inf
+		}
+		if pa.Node >= 0 && pa.Node != lastA {
+			lastA = pa.Node
+			if d, ok := b.DistTo(pa.Node); ok {
+				return graph.AddDist(pa.Dist, d)
+			}
+		}
+		if pb.Node >= 0 && pb.Node != lastB {
+			lastB = pb.Node
+			if d, ok := a.DistTo(pb.Node); ok {
+				return graph.AddDist(pb.Dist, d)
 			}
 		}
 	}
@@ -274,16 +554,22 @@ func QueryTZBest(a, b *TZLabel) graph.Dist {
 	}
 	consider(a, b)
 	consider(b, a)
-	// Any node in both bunches is a valid relay.
-	small, large := a, b
-	if len(b.Bunch) < len(a.Bunch) {
-		small, large = b, a
-	}
-	for w, e := range small.Bunch {
-		if d, ok := large.DistTo(w); ok {
-			if est := graph.AddDist(e.Dist, d); est < best {
+	// Any node in both bunches is a valid relay: a two-pointer merge over
+	// the sorted bunches finds every shared member in O(|a|+|b|).
+	ab, bb := a.Bunch, b.Bunch
+	i, j := 0, 0
+	for i < len(ab) && j < len(bb) {
+		switch {
+		case ab[i].Node < bb[j].Node:
+			i++
+		case ab[i].Node > bb[j].Node:
+			j++
+		default:
+			if est := graph.AddDist(ab[i].Dist, bb[j].Dist); est < best {
 				best = est
 			}
+			i++
+			j++
 		}
 	}
 	return best

@@ -127,11 +127,11 @@ func buildTestLabels(t *testing.T) []*TZLabel {
 		l.Pivots[0] = Pivot{Node: u, Dist: 0}
 		l.Pivots[1] = Pivot{Node: 2, Dist: dA1[u]}
 		if u != 2 {
-			l.Bunch[2] = BunchEntry{Dist: d2[u], Level: 1}
+			l.Set(2, d2[u], 1)
 		}
 		labels[u] = l
 	}
-	labels[0].Bunch[1] = BunchEntry{Dist: 1, Level: 0}
+	labels[0].Set(1, 1, 0)
 	return labels
 }
 
@@ -161,6 +161,34 @@ func TestQueryTZHandComputed(t *testing.T) {
 	}
 }
 
+// TestQueryTZNonMonotonePivots pins QueryTZ's behavior on wire-legal
+// adversarial labels whose pivot distances are NOT monotone (the
+// decoder does not enforce the construction invariant): an Inf-distance
+// level must not cut the walk short of a later finite hit — the
+// bounded walk's early exit is reserved for finite bounds, where the
+// caller discards anything at or above the bound regardless.
+func TestQueryTZNonMonotonePivots(t *testing.T) {
+	mk := func(owner int) *TZLabel {
+		l := NewTZLabel(owner, 2)
+		l.Pivots[0] = Pivot{Node: -1, Dist: graph.Inf} // empty level 0
+		l.Pivots[1] = Pivot{Node: 5, Dist: 3}
+		l.Set(5, 3, 1)
+		return l
+	}
+	// Round-trip through the wire format: these bytes are accepted input.
+	a, err := UnmarshalTZ(MarshalTZ(mk(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalTZ(MarshalTZ(mk(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := QueryTZ(a, b); d != 6 {
+		t.Errorf("QueryTZ = %d, want 6 (level-1 hit through node 5)", d)
+	}
+}
+
 func TestQueryTZBestNotWorse(t *testing.T) {
 	labels := buildTestLabels(t)
 	for u := 0; u < 4; u++ {
@@ -187,18 +215,26 @@ func TestQueryTZSymmetric(t *testing.T) {
 func TestLabelValidateCatchesCorruption(t *testing.T) {
 	labels := buildTestLabels(t)
 	l := labels[0]
-	l.Bunch[2] = BunchEntry{Dist: 5, Level: 9}
+	l.Set(2, 5, 9)
 	if err := l.Validate(); err == nil {
 		t.Error("bad level not caught")
 	}
-	l.Bunch[2] = BunchEntry{Dist: graph.Inf, Level: 1}
+	l.Set(2, graph.Inf, 1)
 	if err := l.Validate(); err == nil {
 		t.Error("Inf bunch distance not caught")
 	}
-	delete(l.Bunch, 2)
-	l.Bunch[1] = BunchEntry{Dist: 3, Level: 0} // 3 >= d(0,A_1)=2
+	l.Bunch = l.Bunch[:1] // drop node 2, keep node 1
+	l.Set(1, 3, 0)        // 3 >= d(0,A_1)=2
 	if err := l.Validate(); err == nil {
 		t.Error("bunch threshold violation not caught")
+	}
+	l.Bunch = []BunchItem{{Node: 5, Dist: 1, Level: 1}, {Node: 3, Dist: 1, Level: 1}}
+	if err := l.Validate(); err == nil {
+		t.Error("unsorted bunch not caught")
+	}
+	l.Bunch = []BunchItem{{Node: 3, Dist: 1, Level: 1}, {Node: 3, Dist: 1, Level: 1}}
+	if err := l.Validate(); err == nil {
+		t.Error("duplicate bunch node not caught")
 	}
 }
 
@@ -384,9 +420,9 @@ func TestMarshalTZRoundTrip(t *testing.T) {
 		if len(got.Bunch) != len(l.Bunch) {
 			t.Fatalf("bunch size mismatch")
 		}
-		for w, e := range l.Bunch {
-			if got.Bunch[w] != e {
-				t.Fatalf("bunch[%d] mismatch", w)
+		for i, it := range l.Bunch {
+			if got.Bunch[i] != it {
+				t.Fatalf("bunch[%d] mismatch", i)
 			}
 		}
 	}
@@ -542,7 +578,7 @@ func TestMarshalTZProperty(t *testing.T) {
 			if i >= 20 {
 				break
 			}
-			l.Bunch[int(e)] = BunchEntry{Dist: graph.Dist(e), Level: i % kk}
+			l.Set(int(e), graph.Dist(e), i%kk)
 		}
 		got, err := UnmarshalTZ(MarshalTZ(l))
 		if err != nil {
@@ -551,8 +587,8 @@ func TestMarshalTZProperty(t *testing.T) {
 		if got.Owner != l.Owner || len(got.Bunch) != len(l.Bunch) {
 			return false
 		}
-		for w, e := range l.Bunch {
-			if got.Bunch[w] != e {
+		for i, it := range l.Bunch {
+			if got.Bunch[i] != it {
 				return false
 			}
 		}

@@ -226,6 +226,13 @@ func (l *GracefulLabel) SizeWords() int {
 
 // QueryGraceful returns the minimum estimate over all slack levels. All
 // component estimates are ≥ d(u,v), so the minimum is too.
+//
+// Levels are visited finest-net first (descending i: smaller ε, denser
+// net, smaller net distances) with a sound prune: every level-i estimate
+// is d(u,u') + d”(u',v') + d(v',v) ≥ NetDist_a + NetDist_b, so a level
+// whose net distances alone already reach the best estimate seen cannot
+// improve the minimum, and its Thorup–Zwick probes are skipped entirely.
+// The minimum over the surviving levels is unchanged.
 func QueryGraceful(a, b *GracefulLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
@@ -236,10 +243,36 @@ func QueryGraceful(a, b *GracefulLabel) graph.Dist {
 		n = len(b.Levels)
 	}
 	for i := 0; i < n; i++ {
-		if a.Levels[i] == nil || b.Levels[i] == nil {
+		ca, cb := a.Levels[i], b.Levels[i]
+		if ca == nil || cb == nil {
 			continue
 		}
-		if est := QueryCDG(a.Levels[i], b.Levels[i]); est < best {
+		// The level's estimate is d(u,u') + d”(u',v') + d(v',v) with
+		// d” ≥ 0, so NetDist_a + NetDist_b is a sound per-level lower
+		// bound: a level that cannot beat the running minimum is skipped
+		// (or, below, stops probing early via the bounded walk). This is
+		// QueryCDG fused into the loop — one call per level, with the
+		// remaining headroom best − NetDists handed to the TZ walk.
+		lower := graph.AddDist(ca.NetDist, cb.NetDist)
+		if lower >= best {
+			continue
+		}
+		if ca.NetNode == cb.NetNode {
+			best = lower
+			continue
+		}
+		if ca.NetLabel == nil || cb.NetLabel == nil {
+			continue
+		}
+		midBound := graph.Inf
+		if best != graph.Inf {
+			midBound = best - ca.NetDist - cb.NetDist
+		}
+		mid := queryTZBounded(ca.NetLabel, cb.NetLabel, midBound)
+		if mid == graph.Inf {
+			continue
+		}
+		if est := graph.AddDist(ca.NetDist, graph.AddDist(mid, cb.NetDist)); est < best {
 			best = est
 		}
 	}

@@ -112,10 +112,10 @@ func BuildHierarchy(g *graph.Graph, k int, levels []int) (*Oracle, error) {
 		for i := range byLevel {
 			byLevel[i] = [2]int64{int64(graph.Inf), -1}
 		}
-		for w, e := range lab.Bunch {
-			c := [2]int64{int64(e.Dist), int64(w)}
-			if lexLess(c, byLevel[e.Level]) {
-				byLevel[e.Level] = c
+		for _, it := range lab.Bunch {
+			c := [2]int64{int64(it.Dist), int64(it.Node)}
+			if lexLess(c, byLevel[it.Level]) {
+				byLevel[it.Level] = c
 			}
 		}
 		best := [2]int64{int64(graph.Inf), -1}
@@ -167,7 +167,10 @@ func (o *Oracle) growCluster(w, l int) {
 			continue // u ∉ C(w): do not expand through it
 		}
 		if u != w {
-			o.Labels[u].Bunch[w] = sketch.BunchEntry{Dist: it.dist, Level: l}
+			// Clusters are grown in ascending w order (BuildHierarchy's
+			// outer loop), so each label receives its bunch in sorted
+			// order and Set stays on its O(1) append fast path.
+			o.Labels[u].Set(w, it.dist, l)
 		}
 		for _, a := range g.Adj(u) {
 			nd := graph.AddDist(it.dist, a.Weight)
@@ -240,8 +243,8 @@ func (o *Oracle) MeanLabelWords() float64 {
 func (o *Oracle) Clusters() map[int][]int {
 	out := make(map[int][]int)
 	for u, lab := range o.Labels {
-		for w := range lab.Bunch {
-			out[w] = append(out[w], u)
+		for _, it := range lab.Bunch {
+			out[it.Node] = append(out[it.Node], u)
 		}
 	}
 	return out

@@ -83,23 +83,25 @@ func TestBunchDefinition(t *testing.T) {
 	o := mustBuild(t, g, k, 8)
 	ap := graph.APSP(g)
 	for u := 0; u < g.N(); u++ {
-		want := make(map[int]sketch.BunchEntry)
+		var want []sketch.BunchItem
 		for w := 0; w < g.N(); w++ {
 			if w == u {
 				continue
 			}
 			l := o.Levels[w]
 			if ap[u][w] < o.PivotDist[l+1][u] {
-				want[w] = sketch.BunchEntry{Dist: ap[u][w], Level: l}
+				want = append(want, sketch.BunchItem{Node: w, Dist: ap[u][w], Level: l})
 			}
 		}
 		got := o.Label(u).Bunch
 		if len(got) != len(want) {
 			t.Fatalf("node %d: bunch size %d, want %d", u, len(got), len(want))
 		}
-		for w, e := range want {
-			if got[w] != e {
-				t.Fatalf("node %d bunch[%d] = %+v, want %+v", u, w, got[w], e)
+		// want is built in ascending node order, matching the canonical
+		// slice representation item for item.
+		for i, it := range want {
+			if got[i] != it {
+				t.Fatalf("node %d bunch[%d] = %+v, want %+v", u, i, got[i], it)
 			}
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
+	"sync/atomic"
 
 	"distsketch/internal/congest"
 	"distsketch/internal/core"
@@ -81,50 +83,122 @@ func statsOf(s congest.Stats) Stats {
 type SketchSet struct {
 	kind     Kind
 	sketches []*Sketch
-	cost     CostBreakdown
+	// lazy holds the deferred-decode state of a set loaded from a
+	// version-2 envelope; nil for built sets, version-1 loads, and after
+	// Materialize. When non-nil, sketches is nil and every label access
+	// routes through lazy.
+	lazy *lazyLabels
+	// envVersion records which envelope version the set was loaded from:
+	// 0 for a set built in process, otherwise SetVersion1 or SetVersion2.
+	envVersion int
+	cost       CostBreakdown
 	// net is the landmark density net, retained (and persisted) so a
 	// reloaded set still supports incremental repair. Nil for other
 	// kinds.
 	net []int
 }
 
+// lazyLabels is the deferred-decode state of a version-2 envelope: the
+// per-node wire blobs (sub-slices of the retained payload — zero copies
+// at load time), the directory's per-node word counts, and one slot per
+// node filled on first touch. Slots are atomic pointers, so concurrent
+// queries may race to decode the same label; the decode is deterministic
+// and the loser adopts the winner's value, making first-touch decoding
+// safe under the serving layer's lock-free reads.
+type lazyLabels struct {
+	blobs   [][]byte
+	words   []int
+	slots   []atomic.Pointer[Sketch]
+	decoded atomic.Int64
+}
+
+// get returns node u's decoded sketch, decoding it on first touch.
+func (lz *lazyLabels) get(u int) (*Sketch, error) {
+	if sk := lz.slots[u].Load(); sk != nil {
+		return sk, nil
+	}
+	sk, err := ParseSketch(lz.blobs[u])
+	if err != nil {
+		// Unreachable for envelopes written by WriteTo (the payload is
+		// checksummed and each blob was a marshaled label); reachable for
+		// a crafted envelope whose directory passes the load-time tag and
+		// owner checks but whose blob body is structurally invalid.
+		return nil, fmt.Errorf("distsketch: lazy decode of sketch %d: %w", u, err)
+	}
+	// The directory's word count was trusted for size statistics before
+	// this label was ever decoded; reconcile it now so a crafted
+	// envelope cannot keep lying once the label is actually served.
+	if w := sk.Words(); w != lz.words[u] {
+		return nil, fmt.Errorf("distsketch: lazy decode of sketch %d: directory claims %d words, label has %d", u, lz.words[u], w)
+	}
+	if lz.slots[u].CompareAndSwap(nil, sk) {
+		lz.decoded.Add(1)
+	} else {
+		sk = lz.slots[u].Load()
+	}
+	return sk, nil
+}
+
 // Kind returns the construction used.
 func (s *SketchSet) Kind() Kind { return s.kind }
 
 // N returns the number of nodes.
-func (s *SketchSet) N() int { return len(s.sketches) }
+func (s *SketchSet) N() int {
+	if s.lazy != nil {
+		return len(s.lazy.blobs)
+	}
+	return len(s.sketches)
+}
 
-// Sketch returns node u's decoded sketch. The returned value shares
-// state with the set; treat it as read-only. It panics if u is out of
-// range; callers handling untrusted ids use SketchChecked.
-func (s *SketchSet) Sketch(u int) *Sketch { return s.sketches[u] }
+// sketchAt returns node u's decoded sketch, decoding lazily loaded
+// labels on first touch. u must already be range-checked.
+func (s *SketchSet) sketchAt(u int) (*Sketch, error) {
+	if s.lazy != nil {
+		return s.lazy.get(u)
+	}
+	return s.sketches[u], nil
+}
+
+// Sketch returns node u's decoded sketch (decoding it on first touch
+// for a lazily loaded set). The returned value shares state with the
+// set; treat it as read-only. It panics if u is out of range or if a
+// lazily loaded label turns out to be undecodable (possible only for a
+// crafted envelope); callers handling untrusted input use SketchChecked.
+func (s *SketchSet) Sketch(u int) *Sketch {
+	sk, err := s.sketchAt(u)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+}
 
 // checkNode validates a node id against the set's range, wrapping
 // ErrNodeRange so callers can classify the failure.
 func (s *SketchSet) checkNode(u int) error {
-	if u < 0 || u >= len(s.sketches) {
-		return fmt.Errorf("distsketch: node %d outside [0,%d): %w", u, len(s.sketches), ErrNodeRange)
+	if u < 0 || u >= s.N() {
+		return fmt.Errorf("distsketch: node %d outside [0,%d): %w", u, s.N(), ErrNodeRange)
 	}
 	return nil
 }
 
 // SketchChecked is Sketch with bounds checking: an out-of-range node id
-// yields an error wrapping ErrNodeRange instead of a panic. This is the
-// variant for ids arriving from untrusted input (network requests,
-// command lines).
+// (or an undecodable lazily loaded label) yields an error instead of a
+// panic. This is the variant for ids arriving from untrusted input
+// (network requests, command lines).
 func (s *SketchSet) SketchChecked(u int) (*Sketch, error) {
 	if err := s.checkNode(u); err != nil {
 		return nil, err
 	}
-	return s.sketches[u], nil
+	return s.sketchAt(u)
 }
 
 // Query estimates the distance between u and v from their two sketches
-// alone, on the decode-once path (no per-query unmarshaling). It panics
-// if either id is out of range; callers handling untrusted ids use
+// alone, on the decode-once path (no per-query unmarshaling; a lazily
+// loaded label decodes on its first touch and is cached). It panics if
+// either id is out of range; callers handling untrusted ids use
 // QueryChecked.
 func (s *SketchSet) Query(u, v int) Dist {
-	d, err := sketch.Query(s.sketches[u].label, s.sketches[v].label)
+	d, err := sketch.Query(s.Sketch(u).label, s.Sketch(v).label)
 	if err != nil {
 		// Unreachable: a set holds sketches of one kind by construction.
 		panic(err)
@@ -142,7 +216,15 @@ func (s *SketchSet) QueryChecked(u, v int) (Dist, error) {
 	if err := s.checkNode(v); err != nil {
 		return 0, err
 	}
-	d, err := sketch.Query(s.sketches[u].label, s.sketches[v].label)
+	su, err := s.sketchAt(u)
+	if err != nil {
+		return 0, err
+	}
+	sv, err := s.sketchAt(v)
+	if err != nil {
+		return 0, err
+	}
+	d, err := sketch.Query(su.label, sv.label)
 	if err != nil {
 		return 0, fmt.Errorf("distsketch: %w", err)
 	}
@@ -150,9 +232,16 @@ func (s *SketchSet) QueryChecked(u, v int) (Dist, error) {
 }
 
 // SketchBytes returns node u's serialized sketch (what u would hand to a
-// peer that asks for it; Section 2.1 of the paper). It panics if u is
-// out of range; callers handling untrusted ids use SketchBytesChecked.
-func (s *SketchSet) SketchBytes(u int) []byte { return sketch.Marshal(s.sketches[u].label) }
+// peer that asks for it; Section 2.1 of the paper). For a lazily loaded
+// set the stored envelope bytes are returned without decoding the label.
+// It panics if u is out of range; callers handling untrusted ids use
+// SketchBytesChecked.
+func (s *SketchSet) SketchBytes(u int) []byte {
+	if s.lazy != nil {
+		return bytes.Clone(s.lazy.blobs[u])
+	}
+	return sketch.Marshal(s.sketches[u].label)
+}
 
 // SketchBytesChecked is SketchBytes with bounds checking: an
 // out-of-range node id yields an error wrapping ErrNodeRange instead of
@@ -161,17 +250,25 @@ func (s *SketchSet) SketchBytesChecked(u int) ([]byte, error) {
 	if err := s.checkNode(u); err != nil {
 		return nil, err
 	}
-	return sketch.Marshal(s.sketches[u].label), nil
+	return s.SketchBytes(u), nil
 }
 
-// SketchWords returns node u's sketch size in O(log n)-bit words.
-func (s *SketchSet) SketchWords(u int) int { return s.sketches[u].Words() }
+// SketchWords returns node u's sketch size in O(log n)-bit words. For a
+// lazily loaded set the count comes from the envelope's directory, not
+// from decoding the label.
+func (s *SketchSet) SketchWords(u int) int {
+	if s.lazy != nil {
+		return s.lazy.words[u]
+	}
+	return s.sketches[u].Words()
+}
 
-// MaxSketchWords returns the largest sketch size in words.
+// MaxSketchWords returns the largest sketch size in words. Answered from
+// the directory for lazily loaded sets (no decoding).
 func (s *SketchSet) MaxSketchWords() int {
 	m := 0
-	for _, sk := range s.sketches {
-		if w := sk.Words(); w > m {
+	for u, n := 0, s.N(); u < n; u++ {
+		if w := s.SketchWords(u); w > m {
 			m = w
 		}
 	}
@@ -179,24 +276,64 @@ func (s *SketchSet) MaxSketchWords() int {
 }
 
 // MeanSketchWords returns the average sketch size in words, or 0 for an
-// empty set.
+// empty set. Answered from the directory for lazily loaded sets.
 func (s *SketchSet) MeanSketchWords() float64 {
-	if len(s.sketches) == 0 {
+	n := s.N()
+	if n == 0 {
 		return 0
 	}
 	t := 0
-	for _, sk := range s.sketches {
-		t += sk.Words()
+	for u := 0; u < n; u++ {
+		t += s.SketchWords(u)
 	}
-	return float64(t) / float64(len(s.sketches))
+	return float64(t) / float64(n)
+}
+
+// EnvelopeVersion reports which envelope version the set was loaded
+// from: SetVersion1 or SetVersion2 for sets read by ReadSketchSet, 0 for
+// a set built in process.
+func (s *SketchSet) EnvelopeVersion() int { return s.envVersion }
+
+// DecodedSketches reports how many of the set's sketches are currently
+// decoded: N() for built, eagerly loaded, or materialized sets; the
+// number of labels touched so far for a lazily loaded set.
+func (s *SketchSet) DecodedSketches() int {
+	if s.lazy != nil {
+		return int(s.lazy.decoded.Load())
+	}
+	return len(s.sketches)
+}
+
+// Materialize decodes every not-yet-decoded sketch of a lazily loaded
+// set and drops the lazy state; afterwards the set behaves exactly like
+// an eagerly loaded one. It is a no-op for sets that are already fully
+// decoded. Materialize is not safe to call concurrently with queries on
+// the same value; clone first (the clone shares the decode cache).
+func (s *SketchSet) Materialize() error {
+	if s.lazy == nil {
+		return nil
+	}
+	n := len(s.lazy.blobs)
+	sketches := make([]*Sketch, n)
+	for u := 0; u < n; u++ {
+		sk, err := s.lazy.get(u)
+		if err != nil {
+			return err
+		}
+		sketches[u] = sk
+	}
+	s.sketches = sketches
+	s.lazy = nil
+	return nil
 }
 
 // Clone returns an independent copy of the set that shares the decoded
-// (immutable) sketch values. A later UpdateEdge on either copy replaces
-// sketches rather than mutating them, so the other copy is unaffected —
-// this is the O(n) primitive behind copy-on-write serving: repair a
-// clone off to the side, then atomically swap it in while readers keep
-// querying the original.
+// (immutable) sketch values — and, for lazily loaded sets, the decode
+// cache. A later UpdateEdge on either copy replaces sketches rather
+// than mutating them, so the other copy is unaffected — this is the
+// O(n) primitive behind copy-on-write serving: repair a clone off to
+// the side, then atomically swap it in while readers keep querying the
+// original.
 func (s *SketchSet) Clone() *SketchSet {
 	c := *s
 	c.sketches = append([]*Sketch(nil), s.sketches...)
@@ -248,7 +385,7 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 	if s.kind != KindLandmark {
 		return Stats{}, fmt.Errorf("distsketch: incremental repair is not supported for %s sketches (only %s); rebuild instead", s.kind, KindLandmark)
 	}
-	n := len(s.sketches)
+	n := s.N()
 	if g.N() != n {
 		return Stats{}, fmt.Errorf("distsketch: graph has %d nodes, set has %d", g.N(), n)
 	}
@@ -267,6 +404,12 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 		if e.Weight == 0 {
 			return Stats{}, fmt.Errorf("distsketch: graph has zero-weight edge (%d,%d); incremental repair requires strictly positive weights", e.U, e.V)
 		}
+	}
+	// The repair relaxes every label, so a lazily loaded set is fully
+	// decoded first (repair is a control-plane operation; laziness exists
+	// for the query path).
+	if err := s.Materialize(); err != nil {
+		return Stats{}, err
 	}
 	// core.UpdateLandmark treats prev as read-only (improvements repair
 	// into fresh storage), so the live labels can be handed over directly
@@ -306,10 +449,27 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 //
 // The payload holds the kind tag, node count, full cost breakdown, the
 // landmark density net (repair support), and each node's sketch in the
-// ParseSketch wire format. All integers are uvarints.
+// ParseSketch wire format. All integers are uvarints. The two payload
+// versions differ only in how the sketches are laid out:
+//
+//   - Version 1 stores each sketch as a length-prefixed blob; ReadSketchSet
+//     decodes all of them eagerly at load.
+//   - Version 2 stores a per-node directory — one (blob length, label
+//     words) uvarint pair per node — followed by the concatenated blobs.
+//     ReadSketchSet then performs an O(n) directory scan, points each
+//     node's blob into the retained payload buffer with zero per-entry
+//     copies, and decodes a label only when a query first touches it.
+//     Size statistics (SketchWords and friends) answer from the
+//     directory without decoding anything.
 const (
-	setMagic   = "DSKSET"
-	setVersion = 1
+	setMagic = "DSKSET"
+	// SetVersion1 is the eager envelope version (the only one before
+	// this release). ReadSketchSet still reads it; WriteToVersion still
+	// writes it for compatibility with older readers.
+	SetVersion1 = 1
+	// SetVersion2 is the lazy-loading envelope version with the per-node
+	// label directory. WriteTo writes it by default.
+	SetVersion2 = 2
 )
 
 func putUvarint(buf *bytes.Buffer, v uint64) {
@@ -324,12 +484,33 @@ func putStats(buf *bytes.Buffer, s Stats) {
 	putUvarint(buf, uint64(s.Words))
 }
 
-// WriteTo serializes the set in the envelope format ReadSketchSet
-// accepts. It implements io.WriterTo.
+// WriteTo serializes the set in the current (version-2, lazy-loadable)
+// envelope format. It implements io.WriterTo. Use WriteToVersion to emit
+// a version-1 envelope for older readers.
 func (s *SketchSet) WriteTo(w io.Writer) (int64, error) {
+	return s.WriteToVersion(w, SetVersion2)
+}
+
+// WriteToVersion serializes the set in the requested envelope version
+// (SetVersion1 or SetVersion2). Both versions are read back by
+// ReadSketchSet with byte-identical query results; they differ only in
+// load behavior (eager vs lazy decoding). A lazily loaded set writes its
+// stored blobs directly, without decoding pending labels.
+func (s *SketchSet) WriteToVersion(w io.Writer, version int) (int64, error) {
+	if version != SetVersion1 && version != SetVersion2 {
+		return 0, fmt.Errorf("distsketch: unknown envelope version %d (have %d and %d)", version, SetVersion1, SetVersion2)
+	}
+	n := s.N()
+	blob := func(u int) []byte {
+		if s.lazy != nil {
+			return s.lazy.blobs[u]
+		}
+		return sketch.Marshal(s.sketches[u].label)
+	}
+
 	var payload bytes.Buffer
 	payload.WriteByte(tagOfKind(s.kind))
-	putUvarint(&payload, uint64(len(s.sketches)))
+	putUvarint(&payload, uint64(n))
 	putStats(&payload, s.cost.Total)
 	putUvarint(&payload, uint64(s.cost.DataMessages))
 	putUvarint(&payload, uint64(s.cost.EchoMessages))
@@ -345,31 +526,47 @@ func (s *SketchSet) WriteTo(w io.Writer) (int64, error) {
 	for _, u := range s.net {
 		putUvarint(&payload, uint64(u))
 	}
-	for _, sk := range s.sketches {
-		blob := sketch.Marshal(sk.label)
-		putUvarint(&payload, uint64(len(blob)))
-		payload.Write(blob)
+	switch version {
+	case SetVersion1:
+		for u := 0; u < n; u++ {
+			b := blob(u)
+			putUvarint(&payload, uint64(len(b)))
+			payload.Write(b)
+		}
+	case SetVersion2:
+		// Directory first (blob length + label words per node), then the
+		// concatenated blobs: a reader can locate and size every label
+		// from the directory alone.
+		blobs := make([][]byte, n)
+		for u := 0; u < n; u++ {
+			blobs[u] = blob(u)
+			putUvarint(&payload, uint64(len(blobs[u])))
+			putUvarint(&payload, uint64(s.SketchWords(u)))
+		}
+		for u := 0; u < n; u++ {
+			payload.Write(blobs[u])
+		}
 	}
 
 	var head bytes.Buffer
 	head.WriteString(setMagic)
-	head.WriteByte(setVersion)
+	head.WriteByte(byte(version))
 	putUvarint(&head, uint64(payload.Len()))
 	var total int64
-	n, err := w.Write(head.Bytes())
-	total += int64(n)
+	nw, err := w.Write(head.Bytes())
+	total += int64(nw)
 	if err != nil {
 		return total, err
 	}
-	n, err = w.Write(payload.Bytes())
-	total += int64(n)
+	nw, err = w.Write(payload.Bytes())
+	total += int64(nw)
 	if err != nil {
 		return total, err
 	}
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
-	n, err = w.Write(crc[:])
-	total += int64(n)
+	nw, err = w.Write(crc[:])
+	total += int64(nw)
 	return total, err
 }
 
@@ -424,12 +621,19 @@ func getStats(r *bytes.Reader) (Stats, error) {
 	return s, nil
 }
 
-// ReadSketchSet deserializes a set written by WriteTo. The input is
-// validated end to end: envelope version, payload checksum, and every
-// node's sketch (kind and owner must match its slot), so a corrupt or
-// truncated file yields an error, never a panic or a silently wrong set.
-// An envelope holding zero sketches is rejected too — every query
-// against such a set would be out of range.
+// ReadSketchSet deserializes a set written by WriteTo or WriteToVersion,
+// reading both envelope versions. The input is validated end to end:
+// envelope version, payload checksum, and every node's sketch (kind and
+// owner must match its slot), so a corrupt or truncated file yields an
+// error, never a panic or a silently wrong set. An envelope holding zero
+// sketches is rejected too — every query against such a set would be out
+// of range.
+//
+// A version-1 envelope decodes every label at load. A version-2 envelope
+// loads lazily: the directory is scanned (O(n)), each label's bytes are
+// pointed into the retained payload buffer with zero copies, the tag and
+// owner of every label are verified, and full decoding happens on first
+// touch — serving startup no longer pays for labels nobody queries.
 func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 	head := make([]byte, len(setMagic)+1)
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -438,8 +642,9 @@ func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 	if string(head[:len(setMagic)]) != setMagic {
 		return nil, fmt.Errorf("distsketch: not a sketch set (bad magic)")
 	}
-	if v := head[len(setMagic)]; v != setVersion {
-		return nil, fmt.Errorf("distsketch: unsupported sketch-set version %d (this build reads version %d)", v, setVersion)
+	version := int(head[len(setMagic)])
+	if version != SetVersion1 && version != SetVersion2 {
+		return nil, fmt.Errorf("distsketch: unsupported sketch-set version %d (this build reads versions %d and %d)", version, SetVersion1, SetVersion2)
 	}
 	br := newByteReader(r)
 	plen, err := binary.ReadUvarint(br)
@@ -465,10 +670,10 @@ func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(crc[:]) {
 		return nil, fmt.Errorf("distsketch: sketch-set checksum mismatch")
 	}
-	return parseSetPayload(payload)
+	return parseSetPayload(payload, version)
 }
 
-func parseSetPayload(payload []byte) (*SketchSet, error) {
+func parseSetPayload(payload []byte, version int) (*SketchSet, error) {
 	pr := bytes.NewReader(payload)
 	tag, err := pr.ReadByte()
 	if err != nil {
@@ -478,8 +683,8 @@ func parseSetPayload(payload []byte) (*SketchSet, error) {
 	if kind == "" {
 		return nil, fmt.Errorf("distsketch: unknown sketch kind tag %d", tag)
 	}
-	set := &SketchSet{kind: kind}
-	n, err := getCount(pr, 2) // each sketch blob: length prefix + ≥1 byte
+	set := &SketchSet{kind: kind, envVersion: version}
+	n, err := getCount(pr, 2) // each sketch costs ≥ 2 payload bytes in both versions
 	if err != nil {
 		return nil, err
 	}
@@ -541,6 +746,9 @@ func parseSetPayload(payload []byte) (*SketchSet, error) {
 		}
 		set.net = append(set.net, int(u))
 	}
+	if version == SetVersion2 {
+		return parseLazySketches(set, payload, pr, n)
+	}
 	set.sketches = make([]*Sketch, n)
 	for u := 0; u < n; u++ {
 		blobLen, err := getCount(pr, 1)
@@ -566,6 +774,63 @@ func parseSetPayload(payload []byte) (*SketchSet, error) {
 	if pr.Len() != 0 {
 		return nil, fmt.Errorf("distsketch: %d trailing payload bytes", pr.Len())
 	}
+	return set, nil
+}
+
+// parseLazySketches reads a version-2 payload's sketch section: the
+// per-node directory, then zero-copy blob slices into the retained
+// payload. Each blob's leading tag byte and owner varint are verified at
+// load (the same kind/owner guarantees the eager path gives); the label
+// body decodes on first touch.
+func parseLazySketches(set *SketchSet, payload []byte, pr *bytes.Reader, n int) (*SketchSet, error) {
+	lz := &lazyLabels{
+		blobs: make([][]byte, n),
+		words: make([]int, n),
+		slots: make([]atomic.Pointer[Sketch], n),
+	}
+	lens := make([]int, n)
+	for u := 0; u < n; u++ {
+		blobLen, err := getCount(pr, 1)
+		if err != nil {
+			return nil, fmt.Errorf("distsketch: directory entry %d: %w", u, err)
+		}
+		words, err := getUvarint(pr)
+		if err != nil {
+			return nil, fmt.Errorf("distsketch: directory entry %d: %w", u, err)
+		}
+		if words > math.MaxInt32 {
+			return nil, fmt.Errorf("distsketch: directory entry %d: implausible word count %d", u, words)
+		}
+		lens[u] = blobLen
+		lz.words[u] = int(words)
+	}
+	off := len(payload) - pr.Len()
+	kindTag := tagOfKind(set.kind)
+	for u := 0; u < n; u++ {
+		if lens[u] < 2 {
+			return nil, fmt.Errorf("distsketch: node %d: blob length %d too short for a label", u, lens[u])
+		}
+		if lens[u] > len(payload)-off {
+			return nil, fmt.Errorf("distsketch: node %d: blob length %d exceeds payload", u, lens[u])
+		}
+		blob := payload[off : off+lens[u] : off+lens[u]]
+		off += lens[u]
+		if blob[0] != kindTag {
+			return nil, fmt.Errorf("distsketch: node %d: sketch tag %d in a %s set", u, blob[0], set.kind)
+		}
+		owner, vn := binary.Varint(blob[1:])
+		if vn <= 0 {
+			return nil, fmt.Errorf("distsketch: node %d: unreadable sketch owner", u)
+		}
+		if owner != int64(u) {
+			return nil, fmt.Errorf("distsketch: node %d: sketch owned by %d", u, owner)
+		}
+		lz.blobs[u] = blob
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("distsketch: %d trailing payload bytes", len(payload)-off)
+	}
+	set.lazy = lz
 	return set, nil
 }
 
