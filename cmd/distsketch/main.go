@@ -18,11 +18,13 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"distsketch"
+	"distsketch/internal/atomicfile"
 )
 
 func main() {
@@ -48,12 +50,11 @@ func main() {
 
 	var set *distsketch.SketchSet
 	if *loadSet != "" {
-		f, err := os.Open(*loadSet)
-		if err != nil {
-			fatal(err)
-		}
-		set, err = distsketch.ReadSketchSet(f)
-		f.Close()
+		// The recovering loader: stale temps from a killed -saveset are
+		// swept, and a torn or corrupt envelope is quarantined to
+		// <file>.corrupt with a typed error naming the bad byte offset.
+		var err error
+		set, err = distsketch.LoadSketchSet(*loadSet)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,14 +79,13 @@ func main() {
 			fatal(err)
 		}
 		if *save != "" {
-			f, ferr := os.Create(*save)
-			if ferr != nil {
-				fatal(ferr)
-			}
-			if err := distsketch.WriteGraph(f, g); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			// Atomic write: a crash (or a full disk) mid-save leaves the old
+			// edge list intact instead of a partial file, and every error —
+			// including the close/fsync the bare os.Create path used to drop
+			// — reaches the exit code.
+			if err := atomicfile.WriteFile(*save, func(w io.Writer) error {
+				return distsketch.WriteGraph(w, g)
+			}); err != nil {
 				fatal(err)
 			}
 		}
@@ -135,14 +135,10 @@ func main() {
 	}
 
 	if *saveSet != "" {
-		f, err := os.Create(*saveSet)
-		if err != nil {
-			fatal(err)
-		}
-		if _, err := set.WriteToVersion(f, *setVersion); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Crash-safe save: temp file + fsync + atomic rename, so a kill at
+		// any instant leaves either the previous envelope or the new one —
+		// never a torn file the next -loadset trips over.
+		if err := distsketch.SaveSketchSet(*saveSet, set, *setVersion); err != nil {
 			fatal(err)
 		}
 		if *summary {
@@ -184,6 +180,8 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "distsketch:", err)
+	// Library errors already carry the "distsketch: " prefix; don't
+	// stutter it.
+	fmt.Fprintln(os.Stderr, "distsketch:", strings.TrimPrefix(err.Error(), "distsketch: "))
 	os.Exit(1)
 }

@@ -15,20 +15,36 @@
 //	curl -s localhost:7600/sketch/3 | xxd | head
 //	curl localhost:7600/stats
 //	curl -X POST localhost:7600/update-edge -d '{"u":12,"v":80,"weight":3}'
+//	curl localhost:7600/healthz; curl localhost:7600/readyz
+//	curl -X POST localhost:7600/save                 # with -snapshot
 //
 // -graph is optional; without it the server cannot apply /update-edge
 // repairs (it needs the live topology) but serves queries normally.
 // Note that /update-edge mutates the served set and the server does no
 // authentication: expose it to untrusted clients only behind your own
 // auth or network controls, or omit -graph to run read-only.
+//
+// Lifecycle: the envelope is loaded through the recovering loader
+// (stale temp files from a killed save are swept; a torn or corrupt
+// envelope is quarantined to <set>.corrupt and the process exits with a
+// clear error instead of serving garbage). On SIGTERM/SIGINT the server
+// drains gracefully: /readyz flips to 503 so load balancers stop
+// routing here, in-flight requests (including an in-flight update swap)
+// complete, new connections are refused, and a final counters line is
+// logged. Overload is shed at the admission gate (-inflight) with 503 +
+// Retry-After rather than queued without bound.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"distsketch"
@@ -40,6 +56,11 @@ func main() {
 	graphPath := flag.String("graph", "", "edge-list topology, enables POST /update-edge")
 	addr := flag.String("addr", ":7600", "listen address")
 	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatch, "max pairs per batched POST /query")
+	maxInFlight := flag.Int("inflight", serve.DefaultMaxInFlight, "max concurrently executing requests; excess load is shed with 503 (negative disables)")
+	reqTimeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request execution deadline (negative disables)")
+	snapshot := flag.String("snapshot", "", "enable POST /save: crash-safe snapshot of the served set to this path")
+	readyProbe := flag.Bool("readyprobe", false, "make GET /readyz decode a label through the query path before reporting ready")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests")
 	flag.Parse()
 
 	if *setPath == "" {
@@ -47,13 +68,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*setPath)
+	// LoadSketchSet is the recovering loader: stale save temps are swept
+	// and a corrupt envelope is quarantined so the next start does not
+	// trip on the same bytes.
+	set, err := distsketch.LoadSketchSet(*setPath)
 	if err != nil {
-		log.Fatalf("sketchserve: %v", err)
-	}
-	set, err := distsketch.ReadSketchSet(f)
-	f.Close()
-	if err != nil {
+		var ce *distsketch.ErrCorruptEnvelope
+		if errors.As(err, &ce) && ce.Quarantined != "" {
+			log.Fatalf("sketchserve: %v\nsketchserve: the corrupt file was quarantined to %s; restore a good envelope (e.g. the last POST /save snapshot) and restart", err, ce.Quarantined)
+		}
 		log.Fatalf("sketchserve: loading %s: %v", *setPath, err)
 	}
 
@@ -70,7 +93,14 @@ func main() {
 		}
 	}
 
-	srv, err := serve.New(set, serve.Options{Graph: g, MaxBatch: *maxBatch})
+	srv, err := serve.New(set, serve.Options{
+		Graph:          g,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		SnapshotPath:   *snapshot,
+		ProbeDecode:    *readyProbe,
+	})
 	if err != nil {
 		log.Fatalf("sketchserve: %v", err)
 	}
@@ -82,6 +112,9 @@ func main() {
 	if g == nil {
 		log.Printf("sketchserve: no -graph given; POST /update-edge disabled")
 	}
+	if *snapshot == "" {
+		log.Printf("sketchserve: no -snapshot given; POST /save disabled")
+	}
 	// Explicit timeouts: a server for untrusted clients must not let a
 	// dribbled request pin a connection forever (slowloris).
 	hs := &http.Server{
@@ -92,5 +125,36 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port in use, fd limits) — there is
+		// nothing to drain.
+		log.Fatalf("sketchserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("sketchserve: shutdown signal received; draining (grace %s, /readyz now 503)", *drainTimeout)
+		srv.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := hs.Shutdown(sctx); err != nil {
+			// Some in-flight work outlived the grace period; close what is
+			// left so the process exits promptly, and say so in the exit
+			// code — an operator alerting on nonzero exits wants to know
+			// drains are running long.
+			log.Printf("sketchserve: drain incomplete after %s: %v; closing remaining connections", *drainTimeout, err)
+			hs.Close()
+			code = 1
+		}
+		c := srv.Counters()
+		log.Printf("sketchserve: shutdown complete: %d queries served, %d updates applied, %d requests shed, %d deadline hits, %d panics recovered, %d decode failures, %d snapshots saved",
+			c.Queries, c.Updates, c.Shed, c.DeadlineExceeded, c.PanicsRecovered, c.DecodeFailures, c.Snapshots)
+		os.Exit(code)
+	}
 }

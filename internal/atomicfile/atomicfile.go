@@ -1,0 +1,106 @@
+// Package atomicfile writes files so that a crash at any instant leaves
+// either the complete old contents or the complete new contents on disk
+// — never a torn file. The recipe is the classic one: produce the bytes
+// in a same-directory temp file, fsync it, rename it over the target
+// (atomic within a filesystem), then fsync the directory so the rename
+// itself survives a power cut.
+//
+// A process killed between CreateTemp and the rename leaves a stale
+// temp sibling behind; CleanStale removes those at startup. The target
+// path itself is never observable in a half-written state.
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// tmpInfix separates the target's base name from the random suffix
+// os.CreateTemp appends; CleanStale globs for the same shape.
+const tmpInfix = ".tmp-"
+
+// WriteFile writes the bytes produced by write to path atomically. The
+// write callback streams into a temp file in path's directory; only
+// after the data is flushed, fsynced and closed is the temp file
+// renamed over path, and the directory is fsynced so the rename is
+// durable. On any error — including a failure inside write — the temp
+// file is removed and path is left exactly as it was.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+tmpInfix+"*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close() // no-op (with an ignored error) if already closed
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", tmp, err)
+	}
+	// fsync before the rename: without it the rename can become durable
+	// before the data, which is exactly the torn-file crash this package
+	// exists to rule out.
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("atomicfile: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// CleanStale removes temp files that interrupted WriteFile calls for
+// path left behind (a kill between CreateTemp and the rename). It
+// returns the paths it removed. Call it at startup before reading path;
+// the stale files hold torn data by definition and must never be
+// mistaken for the real file.
+func CleanStale(path string) ([]string, error) {
+	matches, err := filepath.Glob(path + tmpInfix + "*")
+	if err != nil {
+		// Only possible if path itself contains malformed glob metachars;
+		// report it rather than silently skipping cleanup.
+		return nil, fmt.Errorf("atomicfile: scanning for stale temps of %s: %w", path, err)
+	}
+	var removed []string
+	for _, m := range matches {
+		if rmErr := os.Remove(m); rmErr == nil {
+			removed = append(removed, m)
+		} else if !errors.Is(rmErr, os.ErrNotExist) {
+			return removed, fmt.Errorf("atomicfile: removing stale temp: %w", rmErr)
+		}
+	}
+	return removed, nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable. Filesystems that cannot fsync a directory (and Windows)
+// refuse with EINVAL/ENOTSUP; the rename is still atomic there, so that
+// refusal is not treated as a failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, errors.ErrUnsupported)) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,104 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("after create: %q, %v", got, err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second version, longer"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second version, longer" {
+		t.Fatalf("after replace: %q", got)
+	}
+}
+
+// TestTornWriteFileFailureLeavesOldContents is the crash-safety core: a
+// writer that dies partway (the in-process stand-in for a kill mid-save)
+// must leave the previous file byte-identical and no temp debris.
+func TestTornWriteFileFailureLeavesOldContents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-write")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("half a new fi")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the writer's error back, got %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "precious" {
+		t.Fatalf("old contents damaged: %q, %v", got, rerr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), tmpInfix) {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestTornCleanStale(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(path, []byte("real"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := path + tmpInfix + "1234"
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated sibling must survive the sweep.
+	other := filepath.Join(dir, "other.bin")
+	if err := os.WriteFile(other, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := CleanStale(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale {
+		t.Fatalf("removed %v, want [%s]", removed, stale)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale temp still present")
+	}
+	for _, keep := range []string{path, other} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Errorf("%s should survive cleanup: %v", keep, err)
+		}
+	}
+	// Idempotent on a clean directory.
+	if removed, err := CleanStale(path); err != nil || len(removed) != 0 {
+		t.Errorf("second sweep: %v, %v", removed, err)
+	}
+}

@@ -16,9 +16,14 @@ import (
 // Wire types. Status conventions: 400 for input that does not parse
 // (non-integer ids, bad JSON, negative weights), 404 for well-formed ids
 // naming a node or edge that does not exist, 413 for oversized batches,
-// 409 for /update-edge without a loaded topology, and 422 when a repair
-// is impossible (a weight increase that changes distances, a
-// non-landmark kind) and the caller must rebuild instead.
+// 409 for /update-edge without a loaded topology (or /save without a
+// snapshot path), 422 when a repair is impossible (a weight increase
+// that changes distances, a non-landmark kind) and the caller must
+// rebuild instead, 503 with Retry-After when the admission gate sheds
+// load, the per-request deadline expires mid-execution, or /readyz is
+// draining, and 500 with node/offset context when a lazily loaded label
+// turns out to be corrupt (distsketch.ErrCorruptLabel; counted in
+// /stats as decode_failures).
 
 // QueryResult is one estimate in a single or batched query reply.
 type QueryResult struct {
@@ -86,6 +91,43 @@ type StatsReply struct {
 	QueriesServed    int64       `json:"queries_served"`
 	UpdatesApplied   int64       `json:"updates_applied"`
 	UpdatesSupported bool        `json:"updates_supported"`
+	// RequestsShed counts requests rejected by the bounded in-flight
+	// admission gate (503 + Retry-After).
+	RequestsShed int64 `json:"requests_shed"`
+	// PanicsRecovered counts handler panics the recovery middleware
+	// absorbed; any nonzero value deserves a look at the logs.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// DeadlineExceeded counts requests cut off by the per-request
+	// execution deadline.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// DecodeFailures counts queries that hit a corrupt lazily loaded
+	// label (distsketch.ErrCorruptLabel) — the envelope is damaged behind
+	// its checksum and should be replaced.
+	DecodeFailures int64 `json:"decode_failures"`
+	// SnapshotsSaved counts POST /save snapshots written.
+	SnapshotsSaved int64 `json:"snapshots_saved"`
+	// Draining is true once graceful shutdown has begun (readiness is
+	// already answering 503).
+	Draining bool `json:"draining"`
+}
+
+// SaveReply is the POST /save response.
+type SaveReply struct {
+	Path            string `json:"path"`
+	Nodes           int    `json:"nodes"`
+	EnvelopeVersion int    `json:"envelope_version"`
+}
+
+// HealthReply is the GET /healthz response.
+type HealthReply struct {
+	Status string `json:"status"`
+}
+
+// ReadyReply is the GET /readyz response (200 only).
+type ReadyReply struct {
+	Ready           bool `json:"ready"`
+	Nodes           int  `json:"nodes"`
+	SketchesDecoded int  `json:"sketches_decoded"`
 }
 
 // CostReply mirrors distsketch.CostBreakdown's totals in wire casing.
@@ -151,6 +193,28 @@ func result(u, v int, d distsketch.Dist, err error) QueryResult {
 	return res
 }
 
+// queryStatus maps a checked-query failure to a status code, counting
+// decode failures as it classifies: an out-of-range id is the client's
+// fault (404); a corrupt lazily loaded label is the envelope's (500 —
+// the error text already names the node and its envelope byte offset,
+// so the operator can find the bad bytes).
+func (s *Server) queryStatus(err error) int {
+	if errors.Is(err, distsketch.ErrNodeRange) {
+		return http.StatusNotFound
+	}
+	s.countDecodeFailure(err)
+	return http.StatusInternalServerError
+}
+
+// countDecodeFailure bumps the decode_failures counter when err is (or
+// wraps) a corrupt-label error.
+func (s *Server) countDecodeFailure(err error) {
+	var cl *distsketch.ErrCorruptLabel
+	if errors.As(err, &cl) {
+		s.decodeFailures.Add(1)
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	u, err := queryParam(r, "u")
 	if err != nil {
@@ -164,11 +228,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.cur.Load().set.QueryChecked(u, v)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, distsketch.ErrNodeRange) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, "%v", err)
+		writeError(w, s.queryStatus(err), "%v", err)
 		return
 	}
 	s.queries.Add(1)
@@ -225,12 +285,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results = results[:len(req.Pairs)]
 	sc.results = results
 	served := int64(0)
-	for _, i := range order {
+	// The per-request deadline is polled between pairs (every 64, so the
+	// check costs nothing against the ~100ns-per-query hot loop): a batch
+	// that outlives its budget answers 503 instead of pinning the worker
+	// until the client's own timeout fires.
+	ctx := r.Context()
+	for k, i := range order {
+		if k&63 == 0 && ctx.Err() != nil {
+			s.deadlines.Add(1)
+			s.queries.Add(served)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				"request deadline exceeded after %d of %d pairs; split the batch or retry", k, len(req.Pairs))
+			return
+		}
+		if s.queryHook != nil {
+			s.queryHook()
+		}
 		p := req.Pairs[i]
 		d, err := set.QueryChecked(p.U, p.V)
 		results[i] = result(p.U, p.V, d, err)
 		if err == nil {
 			served++
+		} else {
+			s.countDecodeFailure(err)
 		}
 	}
 	// One contended atomic per batch, not per pair — the counter must
@@ -269,11 +347,7 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	set := s.cur.Load().set
 	blob, err := set.SketchBytesChecked(u)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, distsketch.ErrNodeRange) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, "%v", err)
+		writeError(w, s.queryStatus(err), "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -306,6 +380,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueriesServed:    s.queries.Load(),
 		UpdatesApplied:   s.updates.Load(),
 		UpdatesSupported: st.g != nil && st.set.Kind() == distsketch.KindLandmark,
+		RequestsShed:     s.shed.Load(),
+		PanicsRecovered:  s.panics.Load(),
+		DeadlineExceeded: s.deadlines.Load(),
+		DecodeFailures:   s.decodeFailures.Load(),
+		SnapshotsSaved:   s.snapshots.Load(),
+		Draining:         s.draining.Load(),
 	}
 	for _, p := range cost.Phases {
 		reply.Phases = append(reply.Phases, CostPhase{
@@ -338,6 +418,16 @@ func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
 	// happen under the lock so back-to-back updates compose.
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
+	// The deadline may have expired while this request queued behind
+	// other updates; refuse before paying for the O(m) reweigh and the
+	// repair rather than committing a swap the client stopped waiting
+	// for.
+	if r.Context().Err() != nil {
+		s.deadlines.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded while queued behind earlier updates")
+		return
+	}
 	st := s.cur.Load()
 	if st.g == nil {
 		writeError(w, http.StatusConflict, "server holds no topology; restart with a graph to enable /update-edge")
@@ -386,6 +476,63 @@ func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
 	s.updates.Add(1)
 	writeJSON(w, http.StatusOK, UpdateReply{
 		Rounds: stats.Rounds, Messages: stats.Messages, Words: stats.Words,
+	})
+}
+
+// handleSave writes the served set to the configured snapshot path
+// crash-safely: a kill at any instant leaves either the previous
+// snapshot or the new one, never a torn file (distsketch.SaveSketchSet).
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusConflict, "server has no snapshot path; restart with one to enable POST /save")
+		return
+	}
+	// One snapshot at a time: concurrent saves would serialize the same
+	// set twice and race the final rename for no benefit. The set pointer
+	// is loaded under the lock, so back-to-back saves are monotone.
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	st := s.cur.Load()
+	if err := distsketch.SaveSketchSet(s.snapshotPath, st.set, distsketch.SetVersion2); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return
+	}
+	s.snapshots.Add(1)
+	writeJSON(w, http.StatusOK, SaveReply{
+		Path: s.snapshotPath, Nodes: st.set.N(), EnvelopeVersion: distsketch.SetVersion2,
+	})
+}
+
+// handleHealthz is the liveness probe: 200 whenever the process is up
+// and routing requests. It deliberately does no work — liveness failing
+// should mean "restart me", and a momentarily overloaded server must
+// not be restarted into a thundering herd.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthReply{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the server should
+// receive traffic, 503 once a drain has begun (load balancers pull the
+// backend while in-flight requests finish). With Options.ProbeDecode it
+// additionally proves the envelope decodes by touching node 0's label
+// through the query path — a lazily loaded envelope corrupted behind
+// its checksum fails here, before traffic is routed to it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	st := s.cur.Load()
+	if s.probeDecode {
+		if _, err := st.set.QueryChecked(0, 0); err != nil {
+			s.countDecodeFailure(err)
+			writeError(w, http.StatusServiceUnavailable, "decode probe failed: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ReadyReply{
+		Ready: true, Nodes: st.set.N(), SketchesDecoded: st.set.DecodedSketches(),
 	})
 }
 

@@ -8,11 +8,28 @@
 //	GET  /sketch/{u}    node u's wire bytes, what a peer would request (§2.1)
 //	GET  /stats         construction cost breakdown + sketch-size summary
 //	POST /update-edge   incremental repair behind an atomic set swap
+//	POST /save          crash-safe snapshot of the served set (SnapshotPath)
+//	GET  /healthz       liveness: the process is up and routing
+//	GET  /readyz        readiness: envelope loaded, not draining
 //
 // All request input is untrusted: node ids are validated with the
 // facade's checked accessors (distsketch.ErrNodeRange), malformed JSON
 // and oversized batches get client errors, and nothing a request
 // carries can panic the process.
+//
+// Failure model: the handler stack is wrapped in three middlewares.
+// Panic recovery turns a handler panic into a logged 500 (the process
+// survives; a panic after the response started aborts the connection so
+// the client never sees a silently truncated 200). A bounded in-flight
+// admission gate sheds excess load with 503 + Retry-After instead of
+// queueing unboundedly — overload degrades into fast, explicit
+// rejections rather than collapse. A per-request deadline
+// (context.WithTimeout) is plumbed into batch execution so one enormous
+// batch cannot pin a worker past the configured budget. The /healthz
+// and /readyz probes bypass the gate: an overloaded server is still
+// alive, and readiness must answer during a drain. /stats bypasses it
+// too, so operators can watch the shed counters while the gate is
+// rejecting work.
 //
 // Concurrency model: the current (set, graph) pair lives behind one
 // atomic.Pointer. Queries load the pointer and read immutable decoded
@@ -21,20 +38,33 @@
 // never mutated), repairs the clone off to the side, and swaps the
 // pointer only on success, so a query observes either the pre-repair or
 // the post-repair set, never a half-repaired one. Updates serialize
-// among themselves on a mutex.
+// among themselves on a mutex. Graceful shutdown: call BeginDrain (flips
+// /readyz to 503), then http.Server.Shutdown — in-flight queries and the
+// in-flight update swap complete; new connections are refused.
 package serve
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distsketch"
 )
 
 // DefaultMaxBatch is the POST /query pair cap when Options.MaxBatch is 0.
 const DefaultMaxBatch = 4096
+
+// DefaultMaxInFlight is the admission-gate capacity when
+// Options.MaxInFlight is 0: at most this many requests execute
+// concurrently; excess load is shed with 503 + Retry-After.
+const DefaultMaxInFlight = 256
+
+// DefaultRequestTimeout is the per-request execution deadline when
+// Options.RequestTimeout is 0.
+const DefaultRequestTimeout = 30 * time.Second
 
 // Options configures a Server.
 type Options struct {
@@ -45,6 +75,28 @@ type Options struct {
 	// MaxBatch caps the pairs accepted per POST /query request (default
 	// DefaultMaxBatch). Larger batches get 413.
 	MaxBatch int
+	// MaxInFlight bounds concurrently executing requests (default
+	// DefaultMaxInFlight; negative disables the gate). Requests beyond
+	// the bound are shed immediately with 503 + Retry-After — bounded
+	// work, not an unbounded queue. /healthz, /readyz and /stats bypass
+	// the gate.
+	MaxInFlight int
+	// RequestTimeout is the per-request execution deadline (default
+	// DefaultRequestTimeout; negative disables it). Batch query execution
+	// checks the deadline between pairs and answers 503 when it expires.
+	RequestTimeout time.Duration
+	// SnapshotPath enables POST /save: the served set is written there
+	// crash-safely (distsketch.SaveSketchSet). Empty disables the
+	// endpoint.
+	SnapshotPath string
+	// ProbeDecode makes GET /readyz decode node 0's label through the
+	// query path, proving the envelope's bytes actually decode — not
+	// merely that its directory scanned — before a load balancer routes
+	// traffic here. Costs one first-touch decode on lazily loaded sets.
+	ProbeDecode bool
+	// Logger receives panic stacks and lifecycle lines. Nil means
+	// log.Default().
+	Logger *log.Logger
 }
 
 // state is the atomically-swapped unit: the sketch set and the topology
@@ -58,11 +110,28 @@ type state struct {
 // and mount Handler on an http.Server. All methods are safe for
 // concurrent use.
 type Server struct {
-	cur      atomic.Pointer[state]
-	updateMu sync.Mutex // serializes /update-edge clone-repair-swap cycles
-	maxBatch int
-	queries  atomic.Int64 // estimates served (single + batched)
-	updates  atomic.Int64 // repairs applied
+	cur          atomic.Pointer[state]
+	updateMu     sync.Mutex // serializes /update-edge clone-repair-swap cycles
+	saveMu       sync.Mutex // serializes /save snapshots (concurrent saves waste duplicate serialization)
+	maxBatch     int
+	reqTimeout   time.Duration // 0 = disabled
+	sem          chan struct{} // admission gate; nil = disabled
+	snapshotPath string
+	probeDecode  bool
+	logger       *log.Logger
+	draining     atomic.Bool
+
+	queries        atomic.Int64 // estimates served (single + batched)
+	updates        atomic.Int64 // repairs applied
+	shed           atomic.Int64 // requests rejected by the admission gate
+	panics         atomic.Int64 // handler panics recovered
+	deadlines      atomic.Int64 // requests cut off by the per-request deadline
+	decodeFailures atomic.Int64 // corrupt lazily loaded labels hit by traffic
+	snapshots      atomic.Int64 // POST /save snapshots written
+
+	// queryHook, when non-nil, runs before each batched pair executes —
+	// a test seam for deadline and overload fault injection.
+	queryHook func()
 }
 
 // New creates a server over a built (typically reloaded) sketch set.
@@ -73,9 +142,30 @@ func New(set *distsketch.SketchSet, opts Options) (*Server, error) {
 	if opts.Graph != nil && opts.Graph.N() != set.N() {
 		return nil, fmt.Errorf("serve: graph has %d nodes, sketch set has %d", opts.Graph.N(), set.N())
 	}
-	s := &Server{maxBatch: opts.MaxBatch}
+	s := &Server{
+		maxBatch:     opts.MaxBatch,
+		reqTimeout:   opts.RequestTimeout,
+		snapshotPath: opts.SnapshotPath,
+		probeDecode:  opts.ProbeDecode,
+		logger:       opts.Logger,
+	}
 	if s.maxBatch <= 0 {
 		s.maxBatch = DefaultMaxBatch
+	}
+	if s.reqTimeout == 0 {
+		s.reqTimeout = DefaultRequestTimeout
+	} else if s.reqTimeout < 0 {
+		s.reqTimeout = 0
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if maxInFlight > 0 {
+		s.sem = make(chan struct{}, maxInFlight)
+	}
+	if s.logger == nil {
+		s.logger = log.Default()
 	}
 	s.cur.Store(&state{set: set, g: opts.Graph})
 	return s, nil
@@ -85,13 +175,56 @@ func New(set *distsketch.SketchSet, opts Options) (*Server, error) {
 // snapshot; an in-flight repair is not visible until it commits).
 func (s *Server) Set() *distsketch.SketchSet { return s.cur.Load().set }
 
-// Handler returns the route table. Method mismatches answer 405.
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic here while in-flight requests finish. Queries keep being
+// answered (a drain is not a refusal — connections already routed
+// deserve their responses); call it just before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Counters is a point-in-time snapshot of the server's traffic and
+// failure counters, as surfaced in /stats — the final shutdown log line
+// reads it after the drain completes.
+type Counters struct {
+	Queries          int64
+	Updates          int64
+	Shed             int64
+	PanicsRecovered  int64
+	DeadlineExceeded int64
+	DecodeFailures   int64
+	Snapshots        int64
+}
+
+// Counters returns a snapshot of the server's counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Queries:          s.queries.Load(),
+		Updates:          s.updates.Load(),
+		Shed:             s.shed.Load(),
+		PanicsRecovered:  s.panics.Load(),
+		DeadlineExceeded: s.deadlines.Load(),
+		DecodeFailures:   s.decodeFailures.Load(),
+		Snapshots:        s.snapshots.Load(),
+	}
+}
+
+// Handler returns the route table wrapped in the middleware stack
+// (panic recovery outermost, then per-route admission gate and request
+// deadline). Method mismatches answer 405.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /query", s.handleBatch)
-	mux.HandleFunc("GET /sketch/{u}", s.handleSketch)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /update-edge", s.handleUpdateEdge)
-	return mux
+	guard := func(h http.HandlerFunc) http.Handler { return s.withGate(s.withDeadline(h)) }
+	mux.Handle("GET /query", guard(s.handleQuery))
+	mux.Handle("POST /query", guard(s.handleBatch))
+	mux.Handle("GET /sketch/{u}", guard(s.handleSketch))
+	mux.Handle("POST /update-edge", guard(s.handleUpdateEdge))
+	mux.Handle("POST /save", guard(s.handleSave))
+	// Observability and probes bypass the gate: they must answer exactly
+	// when the server is too busy (or too broken) to do real work.
+	mux.Handle("GET /stats", s.withDeadline(http.HandlerFunc(s.handleStats)))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.withRecover(mux)
 }

@@ -445,3 +445,69 @@ func TestNewValidation(t *testing.T) {
 		t.Error("New with mismatched graph size should fail")
 	}
 }
+
+func TestSaveEndpointSnapshots(t *testing.T) {
+	set, _ := buildSet(t)
+	path := t.TempDir() + "/snap.dsk"
+	ts := newTestServer(t, set, Options{SnapshotPath: path})
+	var rep SaveReply
+	if code := postJSON(t, ts.URL+"/save", "", &rep); code != http.StatusOK {
+		t.Fatalf("POST /save: status %d", code)
+	}
+	if rep.Path != path || rep.Nodes != set.N() || rep.EnvelopeVersion != distsketch.SetVersion2 {
+		t.Errorf("save reply %+v", rep)
+	}
+	// The snapshot round-trips through the recovering loader and answers
+	// identically to the served set.
+	loaded, err := distsketch.LoadSketchSet(path)
+	if err != nil {
+		t.Fatalf("loading the snapshot: %v", err)
+	}
+	for _, p := range [][2]int{{0, 63}, {5, 40}, {17, 17}} {
+		if got, want := loaded.Query(p[0], p[1]), set.Query(p[0], p[1]); got != want {
+			t.Errorf("snapshot Query(%d,%d) = %d, want %d", p[0], p[1], got, want)
+		}
+	}
+	var st StatsReply
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.SnapshotsSaved != 1 {
+		t.Errorf("snapshots_saved = %d, want 1", st.SnapshotsSaved)
+	}
+
+	// Without a configured path the endpoint refuses rather than writing
+	// somewhere surprising.
+	bare := newTestServer(t, set, Options{})
+	if code := postJSON(t, bare.URL+"/save", "", nil); code != http.StatusConflict {
+		t.Errorf("POST /save without a snapshot path: status %d, want 409", code)
+	}
+}
+
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	set, _ := buildSet(t)
+	srv, err := New(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	var h HealthReply
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Errorf("/healthz: status %d reply %+v", code, h)
+	}
+	var r ReadyReply
+	if code := getJSON(t, ts.URL+"/readyz", &r); code != http.StatusOK || !r.Ready || r.Nodes != set.N() {
+		t.Errorf("/readyz: status %d reply %+v", code, r)
+	}
+	srv.BeginDrain()
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after BeginDrain: status %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("/healthz after BeginDrain: status %d, want 200 (liveness is not readiness)", code)
+	}
+	var st StatsReply
+	getJSON(t, ts.URL+"/stats", &st)
+	if !st.Draining {
+		t.Error("stats should report draining")
+	}
+}

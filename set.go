@@ -106,8 +106,12 @@ type SketchSet struct {
 // and the loser adopts the winner's value, making first-touch decoding
 // safe under the serving layer's lock-free reads.
 type lazyLabels struct {
-	blobs   [][]byte
-	words   []int
+	blobs [][]byte
+	words []int
+	// offsets holds each blob's byte offset within the envelope it was
+	// loaded from, so a first-touch decode failure can point the operator
+	// at the corrupt bytes (ErrCorruptLabel.Offset).
+	offsets []int64
 	slots   []atomic.Pointer[Sketch]
 	decoded atomic.Int64
 }
@@ -122,14 +126,17 @@ func (lz *lazyLabels) get(u int) (*Sketch, error) {
 		// Unreachable for envelopes written by WriteTo (the payload is
 		// checksummed and each blob was a marshaled label); reachable for
 		// a crafted envelope whose directory passes the load-time tag and
-		// owner checks but whose blob body is structurally invalid.
-		return nil, fmt.Errorf("distsketch: lazy decode of sketch %d: %w", u, err)
+		// owner checks but whose blob body is structurally invalid. The
+		// typed error carries the node and the blob's envelope offset so a
+		// server can answer 500-with-context and count the failure.
+		return nil, &ErrCorruptLabel{Node: u, Offset: lz.offsets[u], Err: err}
 	}
 	// The directory's word count was trusted for size statistics before
 	// this label was ever decoded; reconcile it now so a crafted
 	// envelope cannot keep lying once the label is actually served.
 	if w := sk.Words(); w != lz.words[u] {
-		return nil, fmt.Errorf("distsketch: lazy decode of sketch %d: directory claims %d words, label has %d", u, lz.words[u], w)
+		return nil, &ErrCorruptLabel{Node: u, Offset: lz.offsets[u],
+			Err: fmt.Errorf("directory claims %d words, label has %d", lz.words[u], w)}
 	}
 	if lz.slots[u].CompareAndSwap(nil, sk) {
 		lz.decoded.Add(1)
@@ -598,9 +605,25 @@ func getCount(r *bytes.Reader, minBytes int) (int, error) {
 		return 0, err
 	}
 	if v > uint64(r.Len()/minBytes)+1 {
-		return 0, fmt.Errorf("distsketch: count %d exceeds input", v)
+		return 0, fmt.Errorf("count %d exceeds input", v)
 	}
 	return int(v), nil
+}
+
+// corrupt reports locally detected envelope corruption at offset off.
+func corrupt(off int64, format string, args ...any) error {
+	return &ErrCorruptEnvelope{Offset: off, Err: fmt.Errorf(format, args...)}
+}
+
+// readFail classifies a read failure at offset off: the EOF family
+// means the envelope ends early (a torn file — typed corruption, so the
+// startup path can quarantine it); anything else is the reader's own
+// I/O failure and passes through undisguised.
+func readFail(off int64, what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return corrupt(off, "%s: %v", what, err)
+	}
+	return fmt.Errorf("distsketch: %s: %w", what, err)
 }
 
 func getStats(r *bytes.Reader) (Stats, error) {
@@ -629,150 +652,165 @@ func getStats(r *bytes.Reader) (Stats, error) {
 // sketches is rejected too — every query against such a set would be out
 // of range.
 //
+// Truncation, checksum failures and unparseable payloads return a typed
+// *ErrCorruptEnvelope carrying the byte offset where the corruption was
+// detected (match with errors.As); LoadSketchSet builds its quarantine
+// behavior on that distinction. I/O errors from r itself pass through
+// untyped.
+//
 // A version-1 envelope decodes every label at load. A version-2 envelope
 // loads lazily: the directory is scanned (O(n)), each label's bytes are
 // pointed into the retained payload buffer with zero copies, the tag and
 // owner of every label are verified, and full decoding happens on first
 // touch — serving startup no longer pays for labels nobody queries.
 func ReadSketchSet(r io.Reader) (*SketchSet, error) {
+	cr := &countingReader{r: r}
 	head := make([]byte, len(setMagic)+1)
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("distsketch: reading sketch-set header: %w", err)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, readFail(cr.n, "reading sketch-set header", err)
 	}
 	if string(head[:len(setMagic)]) != setMagic {
-		return nil, fmt.Errorf("distsketch: not a sketch set (bad magic)")
+		return nil, corrupt(0, "not a sketch set (bad magic)")
 	}
 	version := int(head[len(setMagic)])
 	if version != SetVersion1 && version != SetVersion2 {
-		return nil, fmt.Errorf("distsketch: unsupported sketch-set version %d (this build reads versions %d and %d)", version, SetVersion1, SetVersion2)
+		return nil, corrupt(int64(len(setMagic)), "unsupported sketch-set version %d (this build reads versions %d and %d)", version, SetVersion1, SetVersion2)
 	}
-	br := newByteReader(r)
+	br := newByteReader(cr)
 	plen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("distsketch: reading payload length: %w", err)
+		return nil, readFail(cr.n, "reading payload length", err)
 	}
 	const maxPayload = 1<<32 - 1 // sanity cap against corrupt lengths
 	if plen > maxPayload {
-		return nil, fmt.Errorf("distsketch: payload length %d exceeds cap", plen)
+		return nil, corrupt(int64(len(setMagic)+1), "payload length %d exceeds cap", plen)
 	}
+	// base is where the payload starts in the envelope; every offset a
+	// parse failure (or a lazy label) reports is base-relative-absolute.
+	base := cr.n
 	// Copy incrementally rather than pre-allocating plen bytes: the
 	// length field is attacker-controlled, and a lying value must cost
 	// only as much memory as data actually arrives.
 	var payloadBuf bytes.Buffer
 	if _, err := io.CopyN(&payloadBuf, br, int64(plen)); err != nil {
-		return nil, fmt.Errorf("distsketch: reading payload: %w", err)
+		return nil, readFail(cr.n, "reading payload", err)
 	}
 	payload := payloadBuf.Bytes()
 	var crc [4]byte
 	if _, err := io.ReadFull(br, crc[:]); err != nil {
-		return nil, fmt.Errorf("distsketch: reading checksum: %w", err)
+		return nil, readFail(cr.n, "reading checksum", err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(crc[:]) {
-		return nil, fmt.Errorf("distsketch: sketch-set checksum mismatch")
+		return nil, corrupt(base+int64(plen), "sketch-set checksum mismatch")
 	}
-	return parseSetPayload(payload, version)
+	return parseSetPayload(payload, version, base)
 }
 
-func parseSetPayload(payload []byte, version int) (*SketchSet, error) {
+// parseSetPayload decodes a checksummed payload. base is the payload's
+// byte offset within the envelope, so every corruption error reports an
+// absolute file position.
+func parseSetPayload(payload []byte, version int, base int64) (*SketchSet, error) {
 	pr := bytes.NewReader(payload)
+	pos := func() int64 { return base + int64(len(payload)-pr.Len()) }
+	fail := func(format string, args ...any) error { return corrupt(pos(), format, args...) }
 	tag, err := pr.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("distsketch: %w", err)
+		return nil, fail("%v", err)
 	}
 	kind := kindOfTag(tag)
 	if kind == "" {
-		return nil, fmt.Errorf("distsketch: unknown sketch kind tag %d", tag)
+		return nil, fail("unknown sketch kind tag %d", tag)
 	}
 	set := &SketchSet{kind: kind, envVersion: version}
 	n, err := getCount(pr, 2) // each sketch costs ≥ 2 payload bytes in both versions
 	if err != nil {
-		return nil, err
+		return nil, fail("node count: %v", err)
 	}
 	if n == 0 {
 		// A zero-node set cannot answer any query; refuse to construct it
 		// rather than hand back a value whose every accessor is a trap.
-		return nil, fmt.Errorf("distsketch: envelope holds no sketches")
+		return nil, fail("envelope holds no sketches")
 	}
 	if set.cost.Total, err = getStats(pr); err != nil {
-		return nil, err
+		return nil, fail("cost totals: %v", err)
 	}
 	v, err := getUvarint(pr)
 	if err != nil {
-		return nil, err
+		return nil, fail("cost breakdown: %v", err)
 	}
 	set.cost.DataMessages = int64(v)
 	if v, err = getUvarint(pr); err != nil {
-		return nil, err
+		return nil, fail("cost breakdown: %v", err)
 	}
 	set.cost.EchoMessages = int64(v)
 	if v, err = getUvarint(pr); err != nil {
-		return nil, err
+		return nil, fail("cost breakdown: %v", err)
 	}
 	set.cost.ControlMessages = int64(v)
 	if v, err = getUvarint(pr); err != nil {
-		return nil, err
+		return nil, fail("cost breakdown: %v", err)
 	}
 	set.cost.SetupRounds = int(v)
 	phases, err := getCount(pr, 4) // name length + 3 stats uvarints
 	if err != nil {
-		return nil, err
+		return nil, fail("phase count: %v", err)
 	}
 	for i := 0; i < phases; i++ {
 		nameLen, err := getCount(pr, 1)
 		if err != nil {
-			return nil, err
+			return nil, fail("phase %d: %v", i, err)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(pr, name); err != nil {
-			return nil, err
+			return nil, fail("phase %d: %v", i, err)
 		}
 		st, err := getStats(pr)
 		if err != nil {
-			return nil, err
+			return nil, fail("phase %d: %v", i, err)
 		}
 		set.cost.Phases = append(set.cost.Phases, PhaseCost{Name: string(name), Stats: st})
 	}
 	netLen, err := getCount(pr, 1)
 	if err != nil {
-		return nil, err
+		return nil, fail("net size: %v", err)
 	}
 	for i := 0; i < netLen; i++ {
 		u, err := getUvarint(pr)
 		if err != nil {
-			return nil, err
+			return nil, fail("net node %d: %v", i, err)
 		}
 		if u >= uint64(n) {
-			return nil, fmt.Errorf("distsketch: net node %d out of range [0,%d)", u, n)
+			return nil, fail("net node %d out of range [0,%d)", u, n)
 		}
 		set.net = append(set.net, int(u))
 	}
 	if version == SetVersion2 {
-		return parseLazySketches(set, payload, pr, n)
+		return parseLazySketches(set, payload, pr, n, base)
 	}
 	set.sketches = make([]*Sketch, n)
 	for u := 0; u < n; u++ {
 		blobLen, err := getCount(pr, 1)
 		if err != nil {
-			return nil, err
+			return nil, fail("node %d: %v", u, err)
 		}
 		blob := make([]byte, blobLen)
 		if _, err := io.ReadFull(pr, blob); err != nil {
-			return nil, err
+			return nil, fail("node %d: %v", u, err)
 		}
 		sk, err := ParseSketch(blob)
 		if err != nil {
-			return nil, fmt.Errorf("distsketch: node %d: %w", u, err)
+			return nil, fail("node %d: %v", u, err)
 		}
 		if sk.Kind() != kind {
-			return nil, fmt.Errorf("distsketch: node %d: sketch kind %s in a %s set", u, sk.Kind(), kind)
+			return nil, fail("node %d: sketch kind %s in a %s set", u, sk.Kind(), kind)
 		}
 		if sk.Owner() != u {
-			return nil, fmt.Errorf("distsketch: node %d: sketch owned by %d", u, sk.Owner())
+			return nil, fail("node %d: sketch owned by %d", u, sk.Owner())
 		}
 		set.sketches[u] = sk
 	}
 	if pr.Len() != 0 {
-		return nil, fmt.Errorf("distsketch: %d trailing payload bytes", pr.Len())
+		return nil, fail("%d trailing payload bytes", pr.Len())
 	}
 	return set, nil
 }
@@ -781,25 +819,30 @@ func parseSetPayload(payload []byte, version int) (*SketchSet, error) {
 // per-node directory, then zero-copy blob slices into the retained
 // payload. Each blob's leading tag byte and owner varint are verified at
 // load (the same kind/owner guarantees the eager path gives); the label
-// body decodes on first touch.
-func parseLazySketches(set *SketchSet, payload []byte, pr *bytes.Reader, n int) (*SketchSet, error) {
+// body decodes on first touch. base is the payload's envelope offset,
+// recorded per blob so a first-touch decode failure can name the bad
+// bytes.
+func parseLazySketches(set *SketchSet, payload []byte, pr *bytes.Reader, n int, base int64) (*SketchSet, error) {
+	pos := func() int64 { return base + int64(len(payload)-pr.Len()) }
+	fail := func(format string, args ...any) error { return corrupt(pos(), format, args...) }
 	lz := &lazyLabels{
-		blobs: make([][]byte, n),
-		words: make([]int, n),
-		slots: make([]atomic.Pointer[Sketch], n),
+		blobs:   make([][]byte, n),
+		words:   make([]int, n),
+		offsets: make([]int64, n),
+		slots:   make([]atomic.Pointer[Sketch], n),
 	}
 	lens := make([]int, n)
 	for u := 0; u < n; u++ {
 		blobLen, err := getCount(pr, 1)
 		if err != nil {
-			return nil, fmt.Errorf("distsketch: directory entry %d: %w", u, err)
+			return nil, fail("directory entry %d: %v", u, err)
 		}
 		words, err := getUvarint(pr)
 		if err != nil {
-			return nil, fmt.Errorf("distsketch: directory entry %d: %w", u, err)
+			return nil, fail("directory entry %d: %v", u, err)
 		}
 		if words > math.MaxInt32 {
-			return nil, fmt.Errorf("distsketch: directory entry %d: implausible word count %d", u, words)
+			return nil, fail("directory entry %d: implausible word count %d", u, words)
 		}
 		lens[u] = blobLen
 		lz.words[u] = int(words)
@@ -808,30 +851,45 @@ func parseLazySketches(set *SketchSet, payload []byte, pr *bytes.Reader, n int) 
 	kindTag := tagOfKind(set.kind)
 	for u := 0; u < n; u++ {
 		if lens[u] < 2 {
-			return nil, fmt.Errorf("distsketch: node %d: blob length %d too short for a label", u, lens[u])
+			return nil, corrupt(base+int64(off), "node %d: blob length %d too short for a label", u, lens[u])
 		}
 		if lens[u] > len(payload)-off {
-			return nil, fmt.Errorf("distsketch: node %d: blob length %d exceeds payload", u, lens[u])
+			return nil, corrupt(base+int64(off), "node %d: blob length %d exceeds payload", u, lens[u])
 		}
 		blob := payload[off : off+lens[u] : off+lens[u]]
+		lz.offsets[u] = base + int64(off)
 		off += lens[u]
 		if blob[0] != kindTag {
-			return nil, fmt.Errorf("distsketch: node %d: sketch tag %d in a %s set", u, blob[0], set.kind)
+			return nil, corrupt(lz.offsets[u], "node %d: sketch tag %d in a %s set", u, blob[0], set.kind)
 		}
 		owner, vn := binary.Varint(blob[1:])
 		if vn <= 0 {
-			return nil, fmt.Errorf("distsketch: node %d: unreadable sketch owner", u)
+			return nil, corrupt(lz.offsets[u], "node %d: unreadable sketch owner", u)
 		}
 		if owner != int64(u) {
-			return nil, fmt.Errorf("distsketch: node %d: sketch owned by %d", u, owner)
+			return nil, corrupt(lz.offsets[u], "node %d: sketch owned by %d", u, owner)
 		}
 		lz.blobs[u] = blob
 	}
 	if off != len(payload) {
-		return nil, fmt.Errorf("distsketch: %d trailing payload bytes", len(payload)-off)
+		return nil, corrupt(base+int64(off), "%d trailing payload bytes", len(payload)-off)
 	}
 	set.lazy = lz
 	return set, nil
+}
+
+// countingReader tracks how many bytes have been consumed from r, so
+// corruption errors can report the envelope offset they were detected
+// at.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // newByteReader adapts r for binary.ReadUvarint without buffering ahead
