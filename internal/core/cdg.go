@@ -125,7 +125,7 @@ func BuildLandmark(g *graph.Graph, opt SlackOptions) (*LandmarkResult, error) {
 		if !selfDone {
 			entries = append(entries, sketch.Entry{Net: u, D: 0})
 		}
-		out.Labels[u] = &sketch.LandmarkLabel{Owner: u, Entries: entries}
+		out.Labels[u] = sketch.NewLandmarkLabelFromEntries(u, entries)
 	}
 	return out, nil
 }

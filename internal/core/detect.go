@@ -57,8 +57,10 @@ type detectNode struct {
 	completeSent     bool
 	buffered         map[int][]bufferedData
 
-	// Results.
+	// Results. Bunch items collect in the items scratch slice (arbitrary
+	// per-phase map order); the harvest installs them with SetBunch.
 	label     *sketch.TZLabel
+	items     []sketch.BunchItem
 	chainBest pivotCand
 
 	// Accounting (summed by the runner after the run).
@@ -260,7 +262,7 @@ func (nd *detectNode) harvestPhase() {
 		if v == nd.id {
 			continue
 		}
-		nd.label.Bunch = append(nd.label.Bunch, sketch.BunchItem{Node: v, Dist: st.best, Level: i})
+		nd.items = append(nd.items, sketch.BunchItem{Node: v, Dist: st.best, Level: i})
 		if c := (pivotCand{dist: st.best, node: v}); lessCand(c, cand) {
 			cand = c
 		}

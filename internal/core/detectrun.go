@@ -39,9 +39,10 @@ func buildTZDetection(g *graph.Graph, opt TZOptions, levels []int) (*TZResult, e
 		if nd.phase != -1 {
 			return nil, fmt.Errorf("core: node %d stuck in phase %d at quiescence", u, nd.phase)
 		}
-		// harvestPhase appended bunch items in arbitrary per-phase order;
-		// restore the sorted representation invariant once per label.
-		nd.label.Canonicalize()
+		// harvestPhase accumulated bunch items in arbitrary per-phase
+		// order; SetBunch establishes the sorted representation invariant
+		// once per label.
+		nd.label.SetBunch(nd.items)
 		res.Labels[u] = nd.label
 		for i := 0; i < opt.K; i++ {
 			res.Cost.DataMessages += nd.dataSent[i]

@@ -24,8 +24,11 @@ type tzNode struct {
 	best   map[int]graph.Dist // source -> best distance seen this phase
 	out    *outQueues
 
-	// Results accumulated across phases.
+	// Results accumulated across phases. Bunch items collect in the
+	// items scratch slice (arbitrary per-phase map order); the harvest
+	// installs them with SetBunch, which canonicalizes once per label.
 	label *sketch.TZLabel
+	items []sketch.BunchItem
 	// chainBest is the running (dist, id) lexicographic minimum over
 	// levels >= current+1, used to extend the pivot chain downward.
 	chainBest pivotCand
@@ -93,9 +96,9 @@ func (nd *tzNode) finishPhase() {
 			continue
 		}
 		// nd.best iterates in arbitrary map order; items accumulate
-		// unsorted across phases and the harvest canonicalizes the label
-		// once, instead of paying a sorted insert per item.
-		nd.label.Bunch = append(nd.label.Bunch, sketch.BunchItem{Node: v, Dist: d, Level: i})
+		// unsorted across phases and the harvest installs them with
+		// SetBunch once, instead of paying a sorted insert per item.
+		nd.items = append(nd.items, sketch.BunchItem{Node: v, Dist: d, Level: i})
 		if c := (pivotCand{dist: d, node: v}); lessCand(c, cand) {
 			cand = c
 		}

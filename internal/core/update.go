@@ -159,23 +159,22 @@ func mergeLabel(base *sketch.LandmarkLabel, delta map[int]graph.Dist) *sketch.La
 		keys = append(keys, w)
 	}
 	sort.Ints(keys)
-	out := &sketch.LandmarkLabel{
-		Owner:   base.Owner,
-		Entries: make([]sketch.Entry, 0, len(base.Entries)+len(delta)),
-	}
+	merged := make([]sketch.Entry, 0, len(base.Entries)+len(delta))
 	i := 0
 	for _, w := range keys {
 		for i < len(base.Entries) && base.Entries[i].Net < w {
-			out.Entries = append(out.Entries, base.Entries[i])
+			merged = append(merged, base.Entries[i])
 			i++
 		}
 		if i < len(base.Entries) && base.Entries[i].Net == w {
 			i++
 		}
-		out.Entries = append(out.Entries, sketch.Entry{Net: w, D: delta[w]})
+		merged = append(merged, sketch.Entry{Net: w, D: delta[w]})
 	}
-	out.Entries = append(out.Entries, base.Entries[i:]...)
-	return out
+	merged = append(merged, base.Entries[i:]...)
+	// The merge emits entries in ascending net order already, so the
+	// constructor's canonicalization is a verification-cheap no-op.
+	return sketch.NewLandmarkLabelFromEntries(base.Owner, merged)
 }
 
 // UpdateLandmark repairs landmark labels after the weight of edge {a,b}

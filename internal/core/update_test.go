@@ -257,3 +257,35 @@ func TestUpdateLandmarkSharesUnchangedLabels(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeLabelCanonical(t *testing.T) {
+	base := sketch.NewLandmarkLabelFromEntries(4, []sketch.Entry{
+		{Net: 1, D: 10}, {Net: 5, D: 50}, {Net: 9, D: 90},
+	})
+	delta := map[int]graph.Dist{
+		0:  7,  // insert before every base entry
+		5:  41, // improve an existing entry
+		12: 3,  // append past the end
+	}
+	merged := mergeLabel(base, delta)
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged label invalid: %v", err)
+	}
+	if merged.Owner != base.Owner {
+		t.Errorf("merged owner = %d, want %d", merged.Owner, base.Owner)
+	}
+	want := []sketch.Entry{
+		{Net: 0, D: 7}, {Net: 1, D: 10}, {Net: 5, D: 41}, {Net: 9, D: 90}, {Net: 12, D: 3},
+	}
+	if len(merged.Entries) != len(want) {
+		t.Fatalf("Entries = %+v, want %+v", merged.Entries, want)
+	}
+	for i := range want {
+		if merged.Entries[i] != want[i] {
+			t.Fatalf("Entries[%d] = %+v, want %+v", i, merged.Entries[i], want[i])
+		}
+	}
+	if len(base.Entries) != 3 || base.Entries[1] != (sketch.Entry{Net: 5, D: 50}) {
+		t.Errorf("mergeLabel mutated its base: %+v", base.Entries)
+	}
+}

@@ -1,0 +1,179 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// plus the package loader and directive handling the sketchlint suite
+// needs. The real x/tools module is deliberately not imported: this repo
+// builds offline with a bare module cache, so the framework stands on the
+// standard library alone (go/ast, go/types, and export data produced by
+// `go list -export`).
+//
+// The subset is faithful where it matters: an Analyzer is a named Run
+// function over a type-checked package, diagnostics carry positions, and
+// testdata packages are checked against `// want "regexp"` golden
+// comments (see analysistest.go). Fact propagation, SSA, and the
+// dependency graph between analyzers are intentionally absent — none of
+// the sketchlint analyzers need them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and in
+// //sketchlint:ignore directives), a one-line doc string, and the Run
+// function applied to each loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records a diagnostic. Suppression (//sketchlint:ignore) is
+	// applied by the driver after the pass completes, so analyzers report
+	// unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. Analyzer and Position are filled in by the
+// driver (Position because Pos is only meaningful against the reporting
+// package's FileSet, which a multi-package run has many of).
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+	Position token.Position
+}
+
+// ignoreMarker is the suppression directive prefix. Usage:
+//
+//	//sketchlint:ignore <analyzer> <reason>
+//
+// on the flagged line or on its own line directly above it. The reason is
+// mandatory: an ignore that does not say why suppresses nothing.
+const ignoreMarker = "//sketchlint:ignore"
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position, with //sketchlint:ignore
+// suppression already applied.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg.Fset, pkg.Syntax)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = name
+				d.Position = pkg.Fset.Position(d.Pos)
+				if ig.suppressed(pkg.Fset, d) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// ignoreIndex maps file -> line -> analyzer names suppressed on that line.
+type ignoreIndex map[string]map[int][]string
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// No analyzer name or no reason: the directive is inert
+					// by design, so a bare ignore cannot silently blanket a
+					// finding.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by an ignore directive on its
+// line or the line directly above.
+func (idx ignoreIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	m := idx[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the comment group carries the
+// //sketchlint:<name> directive (e.g. HasDirective(fn.Doc, "hotpath")).
+// Directives are comment lines, not doc prose, so exact prefix matching
+// on the raw text is used.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//sketchlint:" + name
+	for _, c := range doc.List {
+		text := c.Text
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

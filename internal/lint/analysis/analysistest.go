@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// RunTest is this framework's analysistest.Run: it loads the fixture
+// package in dir (a directory of .go files, conventionally
+// testdata/src/<name>), runs the analyzer, applies //sketchlint:ignore
+// suppression exactly as the real driver does, and checks the surviving
+// diagnostics against `// want "regexp"` comments:
+//
+//   - every line carrying a want comment must receive a matching
+//     diagnostic;
+//   - every diagnostic must land on a line whose want comment matches it.
+//
+// A fixture file with no want comments is therefore a golden
+// "no diagnostics" case — the blessed patterns ride in those.
+func RunTest(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg.Syntax)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []wantComment {
+	t.Helper()
+	var wants []wantComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := unescapeWant(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, wantComment{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// unescapeWant undoes the escaping inside a want pattern's quotes
+// (the pattern was captured raw, so only \" and \\ need unwrapping).
+func unescapeWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// fixture loading ----------------------------------------------------------
+
+var fixtureOnce sync.Once
+var fixtureLookup *exportLookup
+var fixtureErr error
+
+// sharedLookup returns a process-wide export-data lookup rooted at the
+// enclosing module, priming it with the module's full dependency closure
+// so fixture imports of both module-internal and stdlib packages resolve.
+func sharedLookup() (*exportLookup, error) {
+	fixtureOnce.Do(func() {
+		dir, err := moduleDir()
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		lk := &exportLookup{dir: dir, exports: make(map[string]string)}
+		pkgs, err := goList(dir, "-export", "-deps", "./...")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				lk.exports[p.ImportPath] = p.Export
+			}
+		}
+		fixtureLookup = lk
+	})
+	return fixtureLookup, fixtureErr
+}
+
+// moduleDir locates the module root the tests run inside.
+func moduleDir() (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v\n%s", err, stderr.Bytes())
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// loadFixture parses and type-checks every .go file in dir as one
+// package. Imports resolve against the module's compiled dependencies,
+// so fixtures may import distsketch packages to exercise the analyzers
+// against the real label types.
+func loadFixture(dir string) (*Package, error) {
+	lk, err := sharedLookup()
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	importPath := "fixture/" + filepath.Base(dir)
+	pkg, info, err := typeCheck(fset, importPath, files, lk)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Fset: fset, Syntax: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Name       string
+}
+
+// exportLookup resolves import paths to compiled export data files, as
+// reported by `go list -export`. It backs the gc importer, which is how
+// the loader type-checks against dependencies without recompiling them
+// from source (and without any x/tools machinery). Paths missing from
+// the initial listing — e.g. a stdlib package only a testdata fixture
+// imports — are resolved on demand with another `go list` call.
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string // module directory go list runs in
+	exports map[string]string
+}
+
+func (e *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	file, ok := e.exports[path]
+	e.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(e.dir, "-export", "-deps", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %s: %w", path, err)
+		}
+		e.mu.Lock()
+		for _, p := range pkgs {
+			if p.Export != "" {
+				e.exports[p.ImportPath] = p.Export
+			}
+		}
+		file, ok = e.exports[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// newImporter builds a types.Importer answering from export data.
+func (e *exportLookup) newImporter(fset *token.FileSet) types.Importer {
+	base := importer.ForCompiler(fset, "gc", e.lookup)
+	return &chainImporter{base: base}
+}
+
+type chainImporter struct {
+	base types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return c.base.Import(path)
+}
+
+// goList runs `go list -json` with the given extra flags and patterns.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Export,Dir,GoFiles,Standard,Name"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (e.g. "./..."), rooted at dir (the module directory; "" means the
+// current directory). Only non-test files are loaded — the invariants
+// sketchlint enforces are about production code, and tests legitimately
+// construct adversarial label states on purpose.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if dir == "" {
+		dir = "."
+	}
+	// One listing does double duty: -deps supplies every dependency's
+	// export data for the importer, and the non-dependency entries
+	// matching the patterns are the analysis targets themselves.
+	all, err := goList(dir, append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lk := &exportLookup{dir: dir, exports: make(map[string]string)}
+	for _, p := range all {
+		if p.Export != "" {
+			lk.exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		pkg, err := checkPackage(t, lk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one listed package from source,
+// resolving its imports through export data.
+func checkPackage(t *listedPackage, lk *exportLookup) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typeCheck(fset, t.ImportPath, files, lk)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// typeCheck runs go/types over the parsed files with all Info maps
+// populated (analyzers need Uses, Defs, Types and Selections).
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, lk *exportLookup) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: lk.newImporter(fset)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}

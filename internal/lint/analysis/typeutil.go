@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name. Generic instantiations match their origin type, so
+// IsNamed(sync/atomic.Pointer[state], "sync/atomic", "Pointer") is true.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// IsBuiltinCall reports whether call invokes the builtin of that name
+// (append, make, new, ...), resolving through the identifier's object so
+// a local function shadowing the builtin does not match.
+func (p *Pass) IsBuiltinCall(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// FuncFor resolves the called function or method object of call, or nil
+// for builtins, function values and type conversions.
+func (p *Pass) FuncFor(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// LocalVar returns the local variable (or parameter) object behind e if
+// e is a plain identifier bound to one, and nil otherwise. Package-level
+// variables do not count as local.
+func (p *Pass) LocalVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		v, ok = p.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+	}
+	if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// EachFuncBody walks every function declaration and function literal in
+// the pass, invoking fn with the enclosing declaration (nil for a
+// literal at file scope) and the body. Function literals are visited as
+// part of their enclosing declaration's body walk, not separately, so
+// analyzers that inspect whole bodies see nested closures exactly once.
+func (p *Pass) EachFuncBody(fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd, fd.Body)
+			}
+		}
+	}
+}

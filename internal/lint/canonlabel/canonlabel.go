@@ -1,0 +1,220 @@
+// Package canonlabel enforces the sorted-unique label representation
+// invariant introduced in PRs 4–5: LandmarkLabel.Entries and
+// TZLabel.Bunch are canonical slices (strictly ascending IDs, unique
+// keys), and the query algorithms — merge-intersections, binary
+// searches, probe tables — are only correct because every producer
+// maintains that order. The compiler cannot see the invariant; this
+// analyzer makes violating it a build failure instead of a wrong answer
+// under traffic.
+//
+// The rule: code may not construct or mutate the Entries/Bunch slices
+// directly. It must go through a blessed producer:
+//
+//   - the canonicalizing constructors (NewLandmarkLabelFromEntries),
+//   - the sorted-insert setters (Set, SetBunch),
+//   - the canonicalizers (Canonicalize, CanonicalizeBunch,
+//     CanonicalizeEntries),
+//   - or the staged pattern: a function that appends freely but calls a
+//     canonicalizer before returning (the wire decoders do this — append
+//     in input order, canonicalize once if the input was not already
+//     sorted).
+//
+// Reads are always fine: iterating Entries/Bunch directly is the
+// documented hot-path idiom.
+package canonlabel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"distsketch/internal/lint/analysis"
+)
+
+const sketchPath = "distsketch/internal/sketch"
+
+// blessedFuncs are the producers inside internal/sketch that exist to
+// maintain the invariant; their bodies are the implementation of the
+// discipline, not violations of it.
+var blessedFuncs = map[string]bool{
+	"Set":                         true,
+	"SetBunch":                    true,
+	"Canonicalize":                true,
+	"CanonicalizeBunch":           true,
+	"CanonicalizeEntries":         true,
+	"NewLandmarkLabelFromEntries": true,
+}
+
+// canonicalizers bless the staged append-then-canonicalize pattern when
+// called anywhere in the mutating function.
+var canonicalizers = map[string]bool{
+	"Canonicalize":                true,
+	"CanonicalizeBunch":           true,
+	"CanonicalizeEntries":         true,
+	"SetBunch":                    true,
+	"NewLandmarkLabelFromEntries": true,
+}
+
+// Analyzer flags direct construction or mutation of the canonical label
+// slices outside the blessed producers.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonlabel",
+	Doc:  "flag construction or mutation of LandmarkLabel.Entries / TZLabel.Bunch outside the blessed canonicalizing producers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inSketch := pass.Pkg.Path() == sketchPath
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	pass.EachFuncBody(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if inSketch && blessedFuncs[decl.Name.Name] {
+			return
+		}
+		if callsCanonicalizer(pass, body) {
+			// Staged pattern: the function restores the invariant itself
+			// before handing the label on.
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if sel, field := labelSliceRoot(pass, lhs); sel != nil {
+						report(sel.Pos(), "%s assigned outside a blessed producer; construct labels with NewLandmarkLabelFromEntries/Set/SetBunch or canonicalize before returning", field)
+					}
+				}
+			case *ast.CallExpr:
+				if pass.IsBuiltinCall(v, "append") && len(v.Args) > 0 {
+					if sel, field := labelSliceRoot(pass, v.Args[0]); sel != nil {
+						report(sel.Pos(), "append to %s outside a blessed producer; stage items in a local slice and call SetBunch/NewLandmarkLabelFromEntries, or canonicalize before returning", field)
+					}
+				}
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, v, report)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// labelSliceRoot walks down an lvalue (x.Entries, x.Entries[i],
+// x.Bunch[i].Dist, ...) looking for a selector of one of the canonical
+// label slices; it returns that selector and a display name, or nil.
+func labelSliceRoot(pass *analysis.Pass, e ast.Expr) (*ast.SelectorExpr, string) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if field := labelSliceSel(pass, v); field != "" {
+				return v, field
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// labelSliceSel reports whether sel is LandmarkLabel.Entries or
+// TZLabel.Bunch, returning the qualified field name.
+func labelSliceSel(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	base := pass.TypeOf(sel.X)
+	if base == nil {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Entries":
+		if analysis.IsNamed(base, sketchPath, "LandmarkLabel") {
+			return "LandmarkLabel.Entries"
+		}
+	case "Bunch":
+		if analysis.IsNamed(base, sketchPath, "TZLabel") {
+			return "TZLabel.Bunch"
+		}
+	}
+	return ""
+}
+
+// checkCompositeLit flags LandmarkLabel{Entries: ...} / TZLabel{Bunch: ...}
+// literals (keyed or positional) that populate the canonical slice
+// directly instead of going through a constructor.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, report func(token.Pos, string, ...any)) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	var field string
+	switch {
+	case analysis.IsNamed(t, sketchPath, "LandmarkLabel"):
+		field = "Entries"
+	case analysis.IsNamed(t, sketchPath, "TZLabel"):
+		field = "Bunch"
+	default:
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field && !isNilExpr(kv.Value) {
+				report(kv.Pos(), "composite literal populates %s.%s directly; use the canonicalizing constructor instead", typeName(t), field)
+			}
+			continue
+		}
+		// Positional literal: match the element index to the field.
+		if i < st.NumFields() && st.Field(i).Name() == field && !isNilExpr(elt) {
+			report(elt.Pos(), "composite literal populates %s.%s directly; use the canonicalizing constructor instead", typeName(t), field)
+		}
+	}
+}
+
+func typeName(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// callsCanonicalizer reports whether the body contains a call to one of
+// the canonicalizing producers (package function or label method).
+func callsCanonicalizer(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if fn := pass.FuncFor(call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == sketchPath && canonicalizers[fn.Name()] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

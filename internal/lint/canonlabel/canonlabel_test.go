@@ -1,0 +1,12 @@
+package canonlabel_test
+
+import (
+	"testing"
+
+	"distsketch/internal/lint/analysis"
+	"distsketch/internal/lint/canonlabel"
+)
+
+func TestCanonLabel(t *testing.T) {
+	analysis.RunTest(t, "testdata/src/canonlabel", canonlabel.Analyzer)
+}

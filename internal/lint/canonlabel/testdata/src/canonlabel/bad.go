@@ -1,0 +1,30 @@
+package fixture
+
+import "distsketch/internal/sketch"
+
+// badAssign overwrites the canonical slice wholesale with an input of
+// unknown order.
+func badAssign(l *sketch.LandmarkLabel, es []sketch.Entry) {
+	l.Entries = es // want "LandmarkLabel.Entries assigned outside a blessed producer"
+}
+
+// badAppend grows the bunch without restoring sorted order.
+func badAppend(t *sketch.TZLabel, it sketch.BunchItem) {
+	t.Bunch = append(t.Bunch, it) // want "TZLabel.Bunch"
+}
+
+// badElement mutates one element key in place, which can break ordering
+// without changing the slice header at all.
+func badElement(l *sketch.LandmarkLabel) {
+	l.Entries[0].Net = 7 // want "LandmarkLabel.Entries assigned"
+}
+
+// badKeyedLit populates Entries directly in a literal.
+func badKeyedLit(es []sketch.Entry) *sketch.LandmarkLabel {
+	return &sketch.LandmarkLabel{Owner: 1, Entries: es} // want "composite literal populates LandmarkLabel.Entries"
+}
+
+// badPositionalLit does the same without field keys.
+func badPositionalLit(es []sketch.Entry) sketch.LandmarkLabel {
+	return sketch.LandmarkLabel{1, es} // want "composite literal populates LandmarkLabel.Entries"
+}

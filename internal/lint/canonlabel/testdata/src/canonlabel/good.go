@@ -1,0 +1,46 @@
+package fixture
+
+import "distsketch/internal/sketch"
+
+// goodConstructor routes construction through the canonicalizing
+// constructor — the blessed way to build a label from unordered entries.
+func goodConstructor(es []sketch.Entry) *sketch.LandmarkLabel {
+	return sketch.NewLandmarkLabelFromEntries(3, es)
+}
+
+// goodEmptyLit builds an empty label; a literal that leaves the
+// canonical slice nil cannot break the invariant.
+func goodEmptyLit(owner int) *sketch.LandmarkLabel {
+	return &sketch.LandmarkLabel{Owner: owner}
+}
+
+// goodSet uses the sorted-insert fast path.
+func goodSet(t *sketch.TZLabel, w int, d int64) {
+	t.Set(w, d, 0)
+}
+
+// goodStaged appends freely but canonicalizes before returning — the
+// wire-decoder pattern. The canonicalizer call blesses the whole
+// function body.
+func goodStaged(t *sketch.TZLabel, items []sketch.BunchItem) {
+	for _, it := range items {
+		t.Bunch = append(t.Bunch, it)
+	}
+	t.Bunch = sketch.CanonicalizeBunch(t.Bunch)
+}
+
+// goodStagedMethod is the same pattern via the method form.
+func goodStagedMethod(t *sketch.TZLabel, items []sketch.BunchItem) {
+	t.Bunch = append(t.Bunch, items...)
+	t.Canonicalize()
+}
+
+// goodRead iterates the slices directly — reads are the documented
+// hot-path idiom and are never flagged.
+func goodRead(l *sketch.LandmarkLabel) int64 {
+	var sum int64
+	for _, e := range l.Entries {
+		sum += e.D
+	}
+	return sum
+}

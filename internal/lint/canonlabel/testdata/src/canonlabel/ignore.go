@@ -1,0 +1,17 @@
+package fixture
+
+import "distsketch/internal/sketch"
+
+// goodIgnored carries a directive with an analyzer name and a reason, so
+// the finding is suppressed.
+func goodIgnored(l *sketch.LandmarkLabel, es []sketch.Entry) {
+	//sketchlint:ignore canonlabel es is produced by CanonicalizeEntries upstream
+	l.Entries = es
+}
+
+// badBareIgnore has a directive without a reason; bare ignores are inert
+// by design, so the diagnostic still fires.
+func badBareIgnore(l *sketch.LandmarkLabel, es []sketch.Entry) {
+	//sketchlint:ignore canonlabel
+	l.Entries = es // want "LandmarkLabel.Entries assigned"
+}

@@ -1,0 +1,274 @@
+// Package hotpathalloc enforces the zero-allocation discipline on the
+// serving hot path. Functions annotated with a `//sketchlint:hotpath`
+// doc-comment directive — the Query* walks, the probe-index lookups, the
+// serve batch scratch path — promise zero allocations per call, and the
+// AllocsPerRun benchmarks hold them to it dynamically. This analyzer
+// holds them to it statically, at the construct level, so a regression
+// is a lint failure naming the offending expression rather than a
+// benchmark delta to bisect.
+//
+// Flagged constructs: make, new, slice/map/pointer composite literals,
+// taking the address of a local, append (unless into a buffer the
+// function itself resets with the `x = x[:0]` pooled-scratch idiom),
+// function literals, goroutine spawns, string concatenation,
+// string<->[]byte conversions, and interface boxing at call sites,
+// assignments, conversions and returns.
+//
+// The analyzer is intentionally conservative: a construct the escape
+// analyzer would keep on the stack may still be flagged. The suppression
+// for a justified case is `//sketchlint:ignore hotpathalloc <reason>`,
+// which documents the justification at the site.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"distsketch/internal/lint/analysis"
+)
+
+// Analyzer flags allocation-inducing constructs inside functions
+// annotated //sketchlint:hotpath.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocation-inducing constructs in functions annotated //sketchlint:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.EachFuncBody(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if !analysis.HasDirective(decl.Doc, "hotpath") {
+			return
+		}
+		checkBody(pass, decl, body)
+	})
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	resets := collectResets(pass, body)
+	var results *types.Tuple
+	if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			results = sig.Results()
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, v, resets)
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(v); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(v.Pos(), "slice literal allocates on the hot path")
+				case *types.Map:
+					pass.Reportf(v.Pos(), "map literal allocates on the hot path")
+				}
+			}
+		case *ast.UnaryExpr:
+			checkAddressOf(pass, v)
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "function literal may allocate a closure on the hot path")
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(), "spawning a goroutine allocates on the hot path")
+		case *ast.BinaryExpr:
+			if v.Op.String() == "+" && isString(pass.TypeOf(v)) {
+				pass.Reportf(v.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				if i < len(v.Rhs) {
+					checkBoxing(pass, pass.TypeOf(lhs), v.Rhs[i], "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(v.Results) == results.Len() {
+				for i, res := range v.Results {
+					checkBoxing(pass, results.At(i).Type(), res, "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, allocating conversions, and
+// interface boxing of arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, resets map[string]bool) {
+	switch {
+	case pass.IsBuiltinCall(call, "make"):
+		pass.Reportf(call.Pos(), "make allocates on the hot path; use a pooled or pre-sized buffer")
+	case pass.IsBuiltinCall(call, "new"):
+		pass.Reportf(call.Pos(), "new allocates on the hot path")
+	case pass.IsBuiltinCall(call, "append"):
+		if len(call.Args) > 0 {
+			if path := exprPath(pass, call.Args[0]); path != "" && resets[path] {
+				// Pooled-scratch idiom: the function reset this buffer with
+				// x = x[:0], so appends are amortized reuse of pool capacity.
+				return
+			}
+		}
+		pass.Reportf(call.Pos(), "append may grow its backing array on the hot path; reset a pooled buffer with x = x[:0] or pre-size it outside the hot path")
+	default:
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if ok && tv.IsType() {
+			checkConversion(pass, call, tv.Type)
+			return
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			return
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // forwarding a slice, no per-element boxing
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			checkBoxing(pass, pt, arg, "argument")
+		}
+		if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+			pass.Reportf(call.Pos(), "call with variadic arguments allocates the argument slice on the hot path")
+		}
+	}
+}
+
+// checkConversion flags string<->[]byte conversions and conversions to
+// interface types.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isString(target) && isByteSlice(src):
+		pass.Reportf(call.Pos(), "[]byte-to-string conversion allocates on the hot path")
+	case isByteSlice(target) && isString(src):
+		pass.Reportf(call.Pos(), "string-to-[]byte conversion allocates on the hot path")
+	default:
+		checkBoxing(pass, target, call.Args[0], "conversion")
+	}
+}
+
+// checkBoxing reports a concrete value converted to an interface type.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	pass.Reportf(src.Pos(), "%s boxes %s into %s on the hot path", what, tv.Type, dst)
+}
+
+// checkAddressOf flags &composite{} and &localVar.
+func checkAddressOf(pass *analysis.Pass, u *ast.UnaryExpr) {
+	if u.Op.String() != "&" {
+		return
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.CompositeLit:
+		pass.Reportf(u.Pos(), "&composite literal allocates on the hot path")
+	case *ast.Ident:
+		if pass.LocalVar(x) != nil {
+			pass.Reportf(u.Pos(), "taking the address of local %s may force it to the heap on the hot path", x.Name)
+		}
+	}
+}
+
+// collectResets finds the pooled-scratch reset idiom `x = x[:0]` (and
+// `x := x[:0]`) and returns the canonical paths of the reset buffers.
+func collectResets(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	resets := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr)
+		if !ok || sl.Low != nil || !isZeroLit(sl.High) {
+			return true
+		}
+		lp := exprPath(pass, as.Lhs[0])
+		if lp != "" && lp == exprPath(pass, sl.X) {
+			resets[lp] = true
+		}
+		return true
+	})
+	return resets
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// exprPath canonicalizes an lvalue chain (ident, selector, index) to a
+// comparable string keyed on the root object's identity, or "" if the
+// expression is not such a chain.
+func exprPath(pass *analysis.Pass, e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[v]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[v]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("%p", obj)
+	case *ast.SelectorExpr:
+		base := exprPath(pass, v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		base := exprPath(pass, v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	case *ast.StarExpr:
+		base := exprPath(pass, v.X)
+		if base == "" {
+			return ""
+		}
+		return "*" + base
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"distsketch/internal/lint/analysis"
+	"distsketch/internal/lint/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysis.RunTest(t, "testdata/src/hotpathalloc", hotpathalloc.Analyzer)
+}

@@ -1,0 +1,69 @@
+package fixture
+
+//sketchlint:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//sketchlint:hotpath
+func hotNew() *int {
+	return new(int) // want "new allocates"
+}
+
+//sketchlint:hotpath
+func hotAppend(xs []int, v int) []int {
+	return append(xs, v) // want "append may grow"
+}
+
+//sketchlint:hotpath
+func hotBox(v int) any {
+	return v // want "boxes int into any"
+}
+
+//sketchlint:hotpath
+func hotClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want "function literal"
+}
+
+//sketchlint:hotpath
+func hotEscape(v int) *int {
+	return &v // want "taking the address of local v"
+}
+
+//sketchlint:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//sketchlint:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal"
+}
+
+//sketchlint:hotpath
+func hotMapLit() map[int]int {
+	return map[int]int{} // want "map literal"
+}
+
+//sketchlint:hotpath
+func hotBytes(b []byte) string {
+	return string(b) // want "conversion allocates"
+}
+
+//sketchlint:hotpath
+func hotAddrLit() *struct{ a int } {
+	return &struct{ a int }{a: 1} // want "composite literal allocates"
+}
+
+func sink(vs ...int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+//sketchlint:hotpath
+func hotVariadicCall(a, b int) int {
+	return sink(a, b) // want "variadic arguments allocates"
+}

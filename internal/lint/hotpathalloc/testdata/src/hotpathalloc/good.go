@@ -1,0 +1,54 @@
+package fixture
+
+// goodLookup is a zero-allocation binary search — the shape of the
+// probe-index and sorted-slice lookups the directive protects.
+//
+//sketchlint:hotpath
+func goodLookup(xs []int, k int) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == k {
+		return xs[lo], true
+	}
+	return 0, false
+}
+
+type scratch struct {
+	buf []int
+}
+
+// goodScratch is the pooled-scratch idiom: the buffer is reset with
+// x = x[:0] inside the function, so appends amortize to zero by reusing
+// pool capacity. The reset blesses the appends.
+//
+//sketchlint:hotpath
+func goodScratch(s *scratch, vs []int) {
+	s.buf = s.buf[:0]
+	for _, v := range vs {
+		s.buf = append(s.buf, v)
+	}
+}
+
+// goodForward forwards an existing slice to a variadic callee with ...;
+// no argument slice is materialized.
+//
+//sketchlint:hotpath
+func goodForward(vs []int) int {
+	return sink(vs...)
+}
+
+// notHot allocates freely; without the directive nothing is flagged.
+func notHot(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// hotIgnored documents a justified allocation; the directive with a
+// reason suppresses the finding.
+//
+//sketchlint:hotpath
+func hotIgnored(n int) []int {
+	//sketchlint:ignore hotpathalloc first-call warmup; amortized to zero by the pool
+	return make([]int, n)
+}

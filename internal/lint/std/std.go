@@ -1,0 +1,383 @@
+// Package std reimplements the three standard vet-family passes the
+// sketchlint suite wants alongside its custom analyzers: copylocks,
+// nilness, and unusedwrite. The x/tools originals are unavailable in an
+// offline build (and the bundled `go vet` ships only copylocks), so
+// these are from-scratch ports of the useful core of each check against
+// the same minimal analysis framework the custom analyzers use.
+//
+// Each is deliberately a subset of its namesake — syntactic, per
+// function, no SSA — tuned to catch the mistakes that matter in this
+// repo: copying a struct with a sync.Mutex/atomic.Pointer inside
+// (Server, the pools), dereferencing a pointer on the branch that just
+// proved it nil, and writing to a by-value range variable or value
+// receiver where the write vanishes at the end of the iteration.
+package std
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distsketch/internal/lint/analysis"
+)
+
+// ---------------------------------------------------------------------------
+// copylocks
+
+// Copylocks flags values of lock-containing types passed, assigned, or
+// ranged by value.
+var Copylocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flag by-value copies of types containing sync primitives",
+	Run:  runCopylocks,
+}
+
+// lockTypes are the sync and sync/atomic types whose copy is always a
+// bug (they embed noCopy or hold internal state keyed to an address).
+var lockTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+		"Once": true, "Pool": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockPath returns a human-readable path to the first lock found inside
+// t ("" if none): e.g. "sync.Mutex" or "Server contains sync.Mutex".
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Origin().Obj()
+		if obj != nil && obj.Pkg() != nil {
+			if names := lockTypes[obj.Pkg().Path()]; names != nil && names[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		if inner := lockPath(named.Underlying(), seen); inner != "" {
+			return obj.Name() + " contains " + inner
+		}
+		return ""
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockPath(u.Field(i).Type(), seen); inner != "" {
+				return inner
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}
+
+// copiesValue reports whether e is an expression whose evaluation copies
+// an existing value (as opposed to constructing a fresh one in place).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func runCopylocks(pass *analysis.Pass) error {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				pass.Reportf(f.Type.Pos(), "%s passes lock by value: %s", what, path)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(v.Recv, "receiver")
+				checkFieldList(v.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkFieldList(v.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					// Assigning to _ discards the copy; nothing can observe it.
+					if len(v.Lhs) == len(v.Rhs) {
+						if id, ok := ast.Unparen(v.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					t := pass.TypeOf(rhs)
+					if t == nil {
+						continue
+					}
+					if path := lockPath(t, nil); path != "" {
+						pass.Reportf(rhs.Pos(), "assignment copies lock value: %s", path)
+					}
+				}
+			case *ast.RangeStmt:
+				if rv := rangeValueVar(pass, v.Value); rv != nil {
+					if path := lockPath(rv.Type(), nil); path != "" {
+						pass.Reportf(v.Value.Pos(), "range variable copies lock value: %s", path)
+					}
+				}
+			case *ast.CallExpr:
+				if _, isConv := pass.TypesInfo.Types[v.Fun]; isConv && pass.TypesInfo.Types[v.Fun].IsType() {
+					return true
+				}
+				for _, arg := range v.Args {
+					if !copiesValue(arg) {
+						continue
+					}
+					// A type expression argument (new(atomic.Int64),
+					// make(chan sync.Mutex)) names a type, it does not copy
+					// a value of it.
+					tv, found := pass.TypesInfo.Types[arg]
+					if !found || tv.IsType() {
+						continue
+					}
+					t := tv.Type
+					if path := lockPath(t, nil); path != "" {
+						pass.Reportf(arg.Pos(), "call passes lock by value: %s", path)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// nilness
+
+// Nilness flags dereferences on the branch that just established the
+// value is nil.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of values proven nil by the enclosing branch",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			v, nilOnEq := nilComparison(pass, ifStmt.Cond)
+			if v == nil {
+				return true
+			}
+			var branch ast.Stmt
+			if nilOnEq {
+				branch = ifStmt.Body
+			} else {
+				branch = ifStmt.Else
+			}
+			if branch != nil {
+				checkNilDerefs(pass, v, branch)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison decodes `x == nil` / `nil == x` (returns x, true) and
+// `x != nil` / `nil != x` (returns x, false) for a local x of a nilable
+// type; (nil, false) otherwise.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (*types.Var, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, false
+	}
+	op := bin.Op.String()
+	if op != "==" && op != "!=" {
+		return nil, false
+	}
+	other := bin.Y
+	if isNilIdent(pass, bin.Y) {
+		other = bin.X
+	} else if !isNilIdent(pass, bin.X) {
+		return nil, false
+	}
+	v := pass.LocalVar(other)
+	if v == nil {
+		return nil, false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Interface, *types.Signature, *types.Chan:
+		return v, op == "=="
+	}
+	return nil, false
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkNilDerefs walks the nil branch in source order, flagging
+// dereferences of v until v is reassigned.
+func checkNilDerefs(pass *analysis.Pass, v *types.Var, branch ast.Stmt) {
+	reassigned := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if pass.LocalVar(lhs) == v {
+					reassigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if pass.LocalVar(node.X) != v {
+				return true
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Pointer:
+				if sel, ok := pass.TypesInfo.Selections[node]; !ok || sel.Kind() == types.FieldVal {
+					pass.Reportf(node.Pos(), "field access on %s, which is nil on this branch", v.Name())
+				}
+			case *types.Interface:
+				pass.Reportf(node.Pos(), "method call on %s, which is nil on this branch", v.Name())
+			}
+		case *ast.StarExpr:
+			if pass.LocalVar(node.X) == v {
+				pass.Reportf(node.Pos(), "dereference of %s, which is nil on this branch", v.Name())
+			}
+		case *ast.IndexExpr:
+			if pass.LocalVar(node.X) != v {
+				return true
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Slice, *types.Pointer:
+				pass.Reportf(node.Pos(), "index of %s, which is nil on this branch", v.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && pass.LocalVar(id) == v {
+				pass.Reportf(node.Pos(), "call of %s, which is nil on this branch", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// unusedwrite
+
+// Unusedwrite flags field writes through a by-value copy (range variable
+// or value receiver) that no later code in the same scope reads — the
+// write disappears when the copy does.
+var Unusedwrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flag field writes to by-value copies (range variables, value receivers) that are never read afterwards",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(pass *analysis.Pass) error {
+	pass.EachFuncBody(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if recv := valueStructReceiver(pass, decl); recv != nil {
+			checkLostWrites(pass, recv, body, "value receiver")
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.Value == nil {
+				return true
+			}
+			v := rangeValueVar(pass, rng.Value)
+			if v == nil {
+				return true
+			}
+			if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			checkLostWrites(pass, v, rng.Body, "range variable")
+			return true
+		})
+	})
+	return nil
+}
+
+func valueStructReceiver(pass *analysis.Pass, decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return v
+}
+
+func rangeValueVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+	return v
+}
+
+// checkLostWrites flags assignments `v.f = x` where no use of v follows
+// the assignment within body — the write lands in a copy that is about
+// to be discarded.
+func checkLostWrites(pass *analysis.Pass, v *types.Var, body ast.Node, what string) {
+	// Collect every use position of v first.
+	var uses []int
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			uses = append(uses, int(id.Pos()))
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || pass.LocalVar(sel.X) != v {
+				continue
+			}
+			readAfter := false
+			for _, u := range uses {
+				if u > int(as.End()) {
+					readAfter = true
+					break
+				}
+			}
+			if !readAfter {
+				pass.Reportf(lhs.Pos(), "write to field %s of %s %s is never read; the copy is discarded", sel.Sel.Name, what, v.Name())
+			}
+		}
+		return true
+	})
+}

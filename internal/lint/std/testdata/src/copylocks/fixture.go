@@ -1,0 +1,53 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want "parameter passes lock by value: guarded contains sync.Mutex"
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	cp := *g // want "assignment copies lock value"
+	_ = cp
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range variable copies lock value"
+		total += g.n
+	}
+	return total
+}
+
+func callCopy(g *guarded) {
+	byValueParam(*g) // want "call passes lock by value"
+}
+
+// goodPointer works through a pointer; nothing is copied.
+func goodPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// goodNew passes a type expression, not a value, to the builtin.
+func goodNew() *atomic.Int64 {
+	return new(atomic.Int64)
+}
+
+// goodPlain copies a lock-free struct; not flagged.
+type plain struct{ a, b int }
+
+func goodPlain(p plain) plain {
+	cp := p
+	cp.a++
+	return cp
+}

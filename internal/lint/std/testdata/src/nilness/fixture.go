@@ -1,0 +1,60 @@
+package fixture
+
+type node struct {
+	next *node
+	val  int
+}
+
+func badDeref(n *node) int {
+	if n == nil {
+		return n.val // want "field access on n, which is nil on this branch"
+	}
+	return n.val
+}
+
+func badElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.next.val // want "field access on n"
+	}
+}
+
+func badIndex(xs []int) int {
+	if xs == nil {
+		return xs[0] // want "index of xs"
+	}
+	return xs[0]
+}
+
+func badCall(f func() int) int {
+	if f == nil {
+		return f() // want "call of f"
+	}
+	return f()
+}
+
+func badIface(err error) string {
+	if err == nil {
+		return err.Error() // want "method call on err"
+	}
+	return err.Error()
+}
+
+// goodGuard is the guard-and-return idiom; the nil branch never
+// dereferences.
+func goodGuard(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+// goodReassign repairs the nil before using it.
+func goodReassign(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}

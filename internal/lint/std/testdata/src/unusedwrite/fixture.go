@@ -1,0 +1,43 @@
+package fixture
+
+type point struct{ x, y int }
+
+func badRange(ps []point) {
+	for _, p := range ps {
+		p.x = 1 // want "write to field x of range variable p is never read"
+	}
+}
+
+type counter struct{ n int }
+
+func (c counter) badBump() {
+	c.n = c.n + 1 // want "write to field n of value receiver c is never read"
+}
+
+// goodRangeIndex writes through the slice, not the copy.
+func goodRangeIndex(ps []point) {
+	for i := range ps {
+		ps[i].x = 1
+	}
+}
+
+// goodRangeUsed reads the modified copy afterwards, so the write lands.
+func goodRangeUsed(ps []point) []point {
+	var out []point
+	for _, p := range ps {
+		p.x = 1
+		out = append(out, p)
+	}
+	return out
+}
+
+// goodPointerReceiver mutates through the pointer; the write persists.
+func (c *counter) goodBump() {
+	c.n = c.n + 1
+}
+
+// goodReturned returns the modified copy.
+func (c counter) goodReturned() counter {
+	c.n = 5
+	return c
+}

@@ -1,0 +1,12 @@
+package swapdiscipline_test
+
+import (
+	"testing"
+
+	"distsketch/internal/lint/analysis"
+	"distsketch/internal/lint/swapdiscipline"
+)
+
+func TestSwapDiscipline(t *testing.T) {
+	analysis.RunTest(t, "testdata/src/swapdiscipline", swapdiscipline.Analyzer)
+}

@@ -1,0 +1,57 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+var errCorrupt = errors.New("corrupt payload")
+
+// readBad allocates from a wire count that was never bounded: a hostile
+// 10-byte payload can declare 2^40 entries.
+func readBad(r *bytes.Reader) ([]int64, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, m) // want "wire-length value m sizes an allocation before a bounds check"
+	for i := int64(0); i < m; i++ {
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// readReassigned checks the first count, then reuses the variable for a
+// second wire read; the earlier check does not cover the new value.
+func readReassigned(r *bytes.Reader) ([]byte, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if m < 0 || m > int64(r.Len()) {
+		return nil, errCorrupt
+	}
+	m, err = binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, m) // want "wire-length value m sizes an allocation before a bounds check"
+	return buf, nil
+}
+
+// decodeDerived launders the unchecked count through a conversion; the
+// derived variable is just as unbounded as the source.
+func decodeDerived(r *bytes.Reader) ([]uint32, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	n := int(m)
+	out := make([]uint32, n) // want "wire-length value n sizes an allocation before a bounds check"
+	return out, nil
+}

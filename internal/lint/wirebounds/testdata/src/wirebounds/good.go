@@ -1,0 +1,85 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// readGood is the checked-decode pattern the internal/sketch decoders
+// use: the count is bounded against the remaining input before it sizes
+// anything.
+func readGood(r *bytes.Reader) ([]int64, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if m < 0 || m > int64(r.Len())+1 {
+		return nil, errCorrupt
+	}
+	out := make([]int64, 0, m)
+	for i := int64(0); i < m; i++ {
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// getCount bounds its result internally, so the directive blesses it as
+// a count source.
+//
+//sketchlint:bounded
+func getCount(r *bytes.Reader) (int, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if m < 0 || m > int64(r.Len())+1 {
+		return 0, errCorrupt
+	}
+	return int(m), nil
+}
+
+// readBlessed sizes from the blessed helper; no explicit comparison is
+// needed at the call site.
+func readBlessed(r *bytes.Reader) ([]byte, error) {
+	n, err := getCount(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readDerivedChecked derives a local from a checked count; boundedness
+// flows through the conversion.
+func readDerivedChecked(r *bytes.Reader) ([]uint32, error) {
+	m, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if m < 0 || m > int64(r.Len()) {
+		return nil, errCorrupt
+	}
+	n := int(m)
+	return make([]uint32, n), nil
+}
+
+// readParam trusts its parameter — callers bound counts before passing.
+func readParam(r *bytes.Reader, n int) []byte {
+	buf := make([]byte, n)
+	r.Read(buf)
+	return buf
+}
+
+// scratchFrom is not a decoder by name, so it is out of scope even
+// though it allocates from a wire value.
+func scratchFrom(r *bytes.Reader) []byte {
+	n, _ := binary.ReadVarint(r)
+	return make([]byte, n)
+}

@@ -1,0 +1,204 @@
+// Package wirebounds enforces the decoder allocation-bounding
+// discipline: a length or count read from the wire must be bounds-checked
+// against the remaining input before it sizes an allocation. Without the
+// check, a corrupt or hostile 12-byte payload declaring 2^40 entries
+// turns into a multi-terabyte make() — an out-of-memory crash, not a
+// decode error. The internal/sketch decoders all carry checks of the
+// shape `if m < 0 || m > int64(r.Len())/3+1 { return ErrCorrupt }`; this
+// analyzer makes forgetting one in the next decoder a lint failure.
+//
+// Scope: functions whose name marks them as decoders (Unmarshal*, Read*,
+// Parse*, Decode*, and their unexported forms). Within one, make() sizes
+// and capacities may only mention local variables that are, at that
+// point, bounded: mentioned in an earlier comparison, assigned from
+// bounded operands, or produced by a function annotated
+// `//sketchlint:bounded` (a helper that bounds its result internally,
+// like getCount). Reassigning a variable from the wire invalidates its
+// earlier check. Parameters are trusted — callers check before passing.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"distsketch/internal/lint/analysis"
+)
+
+var decoderName = regexp.MustCompile(`^(Unmarshal|unmarshal|Read|read|Parse|parse|Decode|decode)`)
+
+// safeBuiltins never return attacker-controlled magnitudes.
+var safeBuiltins = map[string]bool{"len": true, "cap": true, "min": true, "max": true}
+
+// Analyzer flags wire-length values sizing allocations before a bounds check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebounds",
+	Doc:  "flag wire-length values that size an allocation in a decoder before being bounds-checked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	boundedFuncs := collectBoundedFuncs(pass)
+	pass.EachFuncBody(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if !decoderName.MatchString(decl.Name.Name) {
+			return
+		}
+		checkDecoder(pass, decl, body, boundedFuncs)
+	})
+	return nil
+}
+
+// collectBoundedFuncs indexes this package's functions annotated
+// //sketchlint:bounded (helpers that bound their own result).
+func collectBoundedFuncs(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && analysis.HasDirective(fd.Doc, "bounded") {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkDecoder(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt, boundedFuncs map[types.Object]bool) {
+	params := paramVars(pass, decl)
+	// bounded holds the locals currently known to be bounds-checked. The
+	// walk is pre-order, which visits statements in source order, so the
+	// map reflects the state at each make() site.
+	bounded := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if isComparison(v.Op) {
+				markCompared(pass, v, bounded)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lv := pass.LocalVar(id)
+				if lv == nil {
+					continue
+				}
+				// One RHS feeding multiple LHS (m, err := read(...)) taints
+				// them all; index-matched RHS are judged individually.
+				rhs := v.Rhs[0]
+				if len(v.Rhs) == len(v.Lhs) {
+					rhs = v.Rhs[i]
+				}
+				if exprBounded(pass, rhs, params, bounded, boundedFuncs) {
+					bounded[lv] = true
+				} else {
+					delete(bounded, lv)
+				}
+			}
+		case *ast.CallExpr:
+			if pass.IsBuiltinCall(v, "make") && len(v.Args) > 1 {
+				for _, size := range v.Args[1:] {
+					reportUnchecked(pass, size, params, bounded)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportUnchecked flags every suspect identifier in a make() size
+// expression: a local, non-parameter variable not currently bounded.
+func reportUnchecked(pass *analysis.Pass, size ast.Expr, params, bounded map[*types.Var]bool) {
+	ast.Inspect(size, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lv := pass.LocalVar(id)
+		if lv == nil || params[lv] || bounded[lv] {
+			return true
+		}
+		pass.Reportf(id.Pos(), "wire-length value %s sizes an allocation before a bounds check; compare it against the remaining input (or derive it from a //sketchlint:bounded helper) first", id.Name)
+		return true
+	})
+}
+
+// exprBounded reports whether every data source in e is bounded at this
+// point: constants, parameters, already-bounded locals, len/cap, type
+// conversions, and calls to //sketchlint:bounded helpers. Any other call
+// or any unbounded local makes the result unbounded.
+func exprBounded(pass *analysis.Pass, e ast.Expr, params, bounded map[*types.Var]bool, boundedFuncs map[types.Object]bool) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(v.Fun).(*ast.Ident); isIdent && safeBuiltins[id.Name] {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			if tv, found := pass.TypesInfo.Types[v.Fun]; found && tv.IsType() {
+				return true // conversion: judge the operand
+			}
+			if fn := pass.FuncFor(v); fn != nil && boundedFuncs[fn] {
+				return false // blessed source; don't judge its arguments
+			}
+			ok = false
+			return false
+		case *ast.Ident:
+			if lv := pass.LocalVar(v); lv != nil && !params[lv] && !bounded[lv] {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// markCompared marks every local variable mentioned in a comparison as
+// bounded from here on.
+func markCompared(pass *analysis.Pass, cmp *ast.BinaryExpr, bounded map[*types.Var]bool) {
+	ast.Inspect(cmp, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if lv := pass.LocalVar(id); lv != nil {
+				bounded[lv] = true
+			}
+		}
+		return true
+	})
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func paramVars(pass *analysis.Pass, decl *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	addList(decl.Recv)
+	addList(decl.Type.Params)
+	return out
+}

@@ -1,0 +1,12 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"distsketch/internal/lint/analysis"
+	"distsketch/internal/lint/wirebounds"
+)
+
+func TestWireBounds(t *testing.T) {
+	analysis.RunTest(t, "testdata/src/wirebounds", wirebounds.Analyzer)
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"distsketch"
+)
+
+// TestExecutePairsZeroAlloc pins the batch hot path's allocation
+// discipline: once the scratch slices are sized and the lazily decoded
+// labels are warm, executing a batch allocates nothing. This is the
+// invariant the //sketchlint:hotpath annotations on executePairs and
+// resultInto enforce mechanically; the test enforces it empirically.
+func TestExecutePairsZeroAlloc(t *testing.T) {
+	set, _ := buildSet(t)
+	srv, err := New(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []QueryPair{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}, {U: 6, V: 7}}
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	results := make([]QueryResult, len(pairs))
+	dists := make([]distsketch.Dist, len(pairs))
+	ctx := context.Background()
+
+	// First pass decodes the envelope's lazy labels; only steady state
+	// is held to zero.
+	srv.executePairs(ctx, set, pairs, order, results, dists)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		served, stopped, finished := srv.executePairs(ctx, set, pairs, order, results, dists)
+		if served != int64(len(pairs)) || stopped != len(pairs) || !finished {
+			t.Fatalf("executePairs = (%d,%d,%v), want (%d,%d,true)",
+				served, stopped, finished, len(pairs), len(pairs))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("executePairs allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -395,6 +395,7 @@ func (l *GracefulLabel) compact() {
 		levelArena[i].NetLabel = nl
 		is := len(itemArena)
 		itemArena = append(itemArena, nl.Bunch...)
+		//sketchlint:ignore canonlabel arena repack copies an already-canonical bunch verbatim
 		nl.Bunch = itemArena[is:len(itemArena):len(itemArena)]
 		ps := len(pivotArena)
 		pivotArena = append(pivotArena, nl.Pivots...)

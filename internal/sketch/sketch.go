@@ -230,6 +230,8 @@ func (l *TZLabel) SizeWords() int {
 
 // Get returns the bunch item for node w, or (zero, false), by binary
 // search over the sorted bunch.
+//
+//sketchlint:hotpath
 func (l *TZLabel) Get(w int) (BunchItem, bool) {
 	lo, hi := 0, len(l.Bunch)
 	for lo < hi {
@@ -266,6 +268,19 @@ func (l *TZLabel) Set(w int, d graph.Dist, level int) {
 	l.Bunch[i] = BunchItem{Node: w, Dist: d, Level: level}
 }
 
+// SetBunch replaces the whole bunch with items, canonicalizing them
+// (sort by ascending node ID, duplicate IDs collapse to the smallest
+// distance) and dropping the derived probe index. It is the blessed
+// bulk producer: builders accumulate items in scratch storage in
+// whatever order the phases emit them and install the canonical bunch
+// in one call, instead of paying a sorted insert per item or mutating
+// Bunch in place across functions. The items slice is reused as the
+// label's storage; the caller must not touch it afterwards.
+func (l *TZLabel) SetBunch(items []BunchItem) {
+	l.probe = nil
+	l.Bunch = CanonicalizeBunch(items)
+}
+
 // distToLinearCut is the bunch size below which DistTo scans linearly:
 // a short forward scan over contiguous items pipelines better than a
 // binary search's serialized dependent loads.
@@ -277,6 +292,8 @@ const distToLinearCut = 24
 // the index (under construction, or adversarial node IDs) scan the
 // sorted bunch — linearly while small, by binary search beyond
 // distToLinearCut. The fast path is kept small enough to inline.
+//
+//sketchlint:hotpath
 func (l *TZLabel) DistTo(w int) (graph.Dist, bool) {
 	if w == l.Owner {
 		return 0, true
@@ -302,6 +319,8 @@ func (l *TZLabel) DistTo(w int) (graph.Dist, bool) {
 // distToScan is DistTo's path over the canonical sorted slice, for
 // labels without the probe index (builders mid-construction, adversarial
 // node IDs).
+//
+//sketchlint:hotpath
 func (l *TZLabel) distToScan(w int) (graph.Dist, bool) {
 	b := l.Bunch
 	if len(b) <= distToLinearCut {
@@ -416,6 +435,8 @@ func (l *TZLabel) Validate() error {
 // per-level B_i(v); this is the original Thorup–Zwick formulation, is
 // never worse, and keeps the same stretch proof (non-membership in B(v)
 // implies non-membership in B_i(v), which is all the induction uses).
+//
+//sketchlint:hotpath
 func QueryTZ(a, b *TZLabel) graph.Dist {
 	return queryTZBounded(a, b, graph.Inf)
 }
@@ -433,6 +454,8 @@ func QueryTZ(a, b *TZLabel) graph.Dist {
 // pivot distances are NOT monotone (the decoder does not enforce the
 // invariant), an Inf-distance pivot level never cuts the walk short of
 // a later finite hit.
+//
+//sketchlint:hotpath
 func queryTZBounded(a, b *TZLabel, bound graph.Dist) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
@@ -504,6 +527,8 @@ func queryTZBounded(a, b *TZLabel, bound graph.Dist) graph.Dist {
 // queryTZScan is the queryTZBounded walk for label pairs where at least
 // one side lacks the probe index (labels still under construction, or
 // adversarial node IDs): identical level walk, probes via DistTo.
+//
+//sketchlint:hotpath
 func queryTZScan(a, b *TZLabel, bound graph.Dist) graph.Dist {
 	k := a.K
 	if b.K < k {
@@ -534,26 +559,15 @@ func queryTZScan(a, b *TZLabel, bound graph.Dist) graph.Dist {
 // QueryTZBest returns the best (smallest) pivot-through estimate over all
 // levels and shared bunch members, rather than stopping at the first
 // usable level. Always ≤ QueryTZ; used by the "best effort" query mode.
+//
+//sketchlint:hotpath
 func QueryTZBest(a, b *TZLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
 	}
 	best := graph.Inf
-	consider := func(x, y *TZLabel) {
-		for i := 0; i < len(x.Pivots); i++ {
-			p := x.Pivots[i]
-			if p.Node < 0 {
-				continue
-			}
-			if d, ok := y.DistTo(p.Node); ok {
-				if est := graph.AddDist(p.Dist, d); est < best {
-					best = est
-				}
-			}
-		}
-	}
-	consider(a, b)
-	consider(b, a)
+	best = considerPivots(a, b, best)
+	best = considerPivots(b, a, best)
 	// Any node in both bunches is a valid relay: a two-pointer merge over
 	// the sorted bunches finds every shared member in O(|a|+|b|).
 	ab, bb := a.Bunch, b.Bunch
@@ -570,6 +584,28 @@ func QueryTZBest(a, b *TZLabel) graph.Dist {
 			}
 			i++
 			j++
+		}
+	}
+	return best
+}
+
+// considerPivots folds every pivot-through estimate of x's chain probed
+// against y's bunch into the running minimum. A plain function rather
+// than a closure in QueryTZBest: the hot-path discipline forbids the
+// closure allocation, and the explicit accumulator keeps it trivially
+// inlinable.
+//
+//sketchlint:hotpath
+func considerPivots(x, y *TZLabel, best graph.Dist) graph.Dist {
+	for i := 0; i < len(x.Pivots); i++ {
+		p := x.Pivots[i]
+		if p.Node < 0 {
+			continue
+		}
+		if d, ok := y.DistTo(p.Node); ok {
+			if est := graph.AddDist(p.Dist, d); est < best {
+				best = est
+			}
 		}
 	}
 	return best

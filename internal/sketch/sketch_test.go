@@ -598,3 +598,38 @@ func TestMarshalTZProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSetBunchCanonicalizes(t *testing.T) {
+	l := NewTZLabel(7, 2)
+	l.Set(3, 30, 0)
+	l.buildProbe()
+	if d, ok := l.DistTo(3); !ok || d != 30 {
+		t.Fatalf("DistTo(3) before SetBunch = (%d,%v), want (30,true)", d, ok)
+	}
+	// Unsorted input with a duplicate key: SetBunch must sort, collapse
+	// the duplicate to the smaller distance, and drop the probe index
+	// built over the previous bunch.
+	l.SetBunch([]BunchItem{
+		{Node: 9, Dist: 90, Level: 1},
+		{Node: 2, Dist: 25, Level: 0},
+		{Node: 9, Dist: 80, Level: 1},
+	})
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate after SetBunch: %v", err)
+	}
+	want := []BunchItem{{Node: 2, Dist: 25, Level: 0}, {Node: 9, Dist: 80, Level: 1}}
+	if len(l.Bunch) != len(want) {
+		t.Fatalf("Bunch = %+v, want %+v", l.Bunch, want)
+	}
+	for i := range want {
+		if l.Bunch[i] != want[i] {
+			t.Fatalf("Bunch[%d] = %+v, want %+v", i, l.Bunch[i], want[i])
+		}
+	}
+	if _, ok := l.DistTo(3); ok {
+		t.Error("DistTo(3) still answers after SetBunch replaced the bunch")
+	}
+	if d, ok := l.DistTo(9); !ok || d != 80 {
+		t.Errorf("DistTo(9) after SetBunch = (%d,%v), want (80,true)", d, ok)
+	}
+}

@@ -66,11 +66,23 @@ func CanonicalizeEntries(entries []Entry) []Entry {
 // Len returns the number of net members stored in the label.
 func (l *LandmarkLabel) Len() int { return len(l.Entries) }
 
-// Get returns the stored distance to net node w, or (0, false).
+// Get returns the stored distance to net node w, or (0, false), by
+// binary search over the sorted entries. Open-coded (no sort.Search
+// closure) to match TZLabel.Get and the hot-path discipline.
+//
+//sketchlint:hotpath
 func (l *LandmarkLabel) Get(w int) (graph.Dist, bool) {
-	i := sort.Search(len(l.Entries), func(i int) bool { return l.Entries[i].Net >= w })
-	if i < len(l.Entries) && l.Entries[i].Net == w {
-		return l.Entries[i].D, true
+	lo, hi := 0, len(l.Entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.Entries[mid].Net < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.Entries) && l.Entries[lo].Net == w {
+		return l.Entries[lo].D, true
 	}
 	return 0, false
 }
@@ -128,6 +140,8 @@ func (l *LandmarkLabel) Validate() error {
 // estimate is between d(u,v) and 3·d(u,v). The intersection is a
 // two-pointer merge over the sorted entry slices: O(|a|+|b|) comparisons,
 // zero allocations.
+//
+//sketchlint:hotpath
 func QueryLandmark(a, b *LandmarkLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
@@ -174,6 +188,8 @@ func (l *CDGLabel) SizeWords() int {
 // QueryCDG estimates d(u,v) as d(u,u') + d”(u',v') + d(v',v), where d”
 // is the TZ estimate between the two net nodes (Section 4). For pairs
 // where v is ε-far from u the estimate is within a factor 8k-1.
+//
+//sketchlint:hotpath
 func QueryCDG(a, b *CDGLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0
@@ -233,6 +249,8 @@ func (l *GracefulLabel) SizeWords() int {
 // whose net distances alone already reach the best estimate seen cannot
 // improve the minimum, and its Thorup–Zwick probes are skipped entirely.
 // The minimum over the surviving levels is unchanged.
+//
+//sketchlint:hotpath
 func QueryGraceful(a, b *GracefulLabel) graph.Dist {
 	if a.Owner == b.Owner {
 		return 0

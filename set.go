@@ -599,6 +599,8 @@ func getUvarint(r *bytes.Reader) (uint64, error) {
 // getCount reads a uvarint that counts elements of at least minBytes
 // bytes each and bounds it by the remaining input, so a corrupt count
 // cannot drive a huge allocation or loop.
+//
+//sketchlint:bounded
 func getCount(r *bytes.Reader, minBytes int) (int, error) {
 	v, err := getUvarint(r)
 	if err != nil {
