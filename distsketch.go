@@ -41,9 +41,13 @@
 //	sb, _ := distsketch.ParseSketch(set.SketchBytes(99))
 //	est, _ = sa.Estimate(sb)
 //
-// Landmark sketch sets additionally support in-place incremental repair
-// after an edge weight decrease (SketchSet.UpdateEdge), costing messages
-// proportional to the affected region instead of a full rebuild.
+// Every sketch kind supports in-place incremental repair after edge
+// weight changes (SketchSet.UpdateEdges): a whole batch of changes is
+// repaired through one clone-repair-verify cycle and the result is
+// byte-identical to rebuilding from scratch, at a cost proportional to
+// the affected region. Batches that cannot be verified exact (weight
+// increases a kind's labels cannot certify) are rejected atomically with
+// ErrRebuildRequired, leaving the set untouched.
 package distsketch
 
 import (
@@ -62,6 +66,10 @@ const Inf = graph.Inf
 // Graph is a weighted undirected network. Build one with NewGraphBuilder
 // or a generator.
 type Graph = graph.Graph
+
+// Edge is one weighted undirected edge as returned by Graph.Edges,
+// normalized to U < V.
+type Edge = graph.Edge
 
 // GraphBuilder accumulates edges for a Graph.
 type GraphBuilder = graph.Builder

@@ -1,0 +1,172 @@
+package core
+
+// Validation-path coverage for the unified Repair entry point: malformed
+// batches and label sets must be refused with clear errors before any
+// repair work, and well-formed duplicates must collapse rather than
+// double-apply.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// tzPrev builds a TZ label set and erases it to []sketch.Label, the
+// shape Repair takes.
+func tzPrev(t *testing.T, g *graph.Graph, seed uint64) []sketch.Label {
+	t.Helper()
+	res, err := BuildTZ(g, TZOptions{K: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]sketch.Label, len(res.Labels))
+	for i, l := range res.Labels {
+		prev[i] = l
+	}
+	return prev
+}
+
+func TestRepairRejectsMalformedBatches(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 24, graph.UniformWeights(5, 20), 31)
+	prev := tzPrev(t, g, 31)
+	e := g.Edges()[0]
+	n := g.N()
+
+	cases := []struct {
+		name  string
+		edges []EdgeChange
+		want  string
+	}{
+		{"self-loop", []EdgeChange{{U: 3, V: 3}}, "self-loop"},
+		{"negative node", []EdgeChange{{U: -1, V: 2}}, "outside"},
+		{"node past n", []EdgeChange{{U: 0, V: n}}, "outside"},
+		{"missing edge", []EdgeChange{missingEdge(t, g)}, "not in graph"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Repair(g, prev, nil, c.edges, congestDefault())
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got %v, want error containing %q", err, c.want)
+			}
+			if errors.Is(err, ErrUnsound) {
+				t.Errorf("malformed input misreported as unsound (rebuilding would not fix it): %v", err)
+			}
+		})
+	}
+
+	// A short or empty label set never reaches the per-kind repairs.
+	if _, err := Repair(g, prev[:n-1], nil, []EdgeChange{{U: e.U, V: e.V}}, congestDefault()); err == nil {
+		t.Error("short label set accepted")
+	}
+	if _, err := Repair(g, nil, nil, []EdgeChange{{U: e.U, V: e.V}}, congestDefault()); err == nil {
+		t.Error("empty label set accepted")
+	}
+}
+
+// missingEdge returns a node pair that is not an edge of g.
+func missingEdge(t *testing.T, g *graph.Graph) EdgeChange {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if _, ok := g.EdgeWeight(u, v); !ok {
+				return EdgeChange{U: u, V: v}
+			}
+		}
+	}
+	t.Fatal("graph is complete; no missing edge")
+	return EdgeChange{}
+}
+
+func TestRepairRejectsMixedLabelKinds(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 24, graph.UniformWeights(5, 20), 32)
+	prev := tzPrev(t, g, 32)
+	lm, err := BuildLandmark(g, SlackOptions{Eps: 0.25, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev[5] = lm.Labels[5]
+	e := g.Edges()[0]
+	_, err = Repair(g, prev, nil, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
+	if err == nil || !strings.Contains(err.Error(), "mixed") {
+		t.Fatalf("mixed label kinds: got %v, want mixed-kind error", err)
+	}
+}
+
+func TestRepairRejectsNonPositiveWeights(t *testing.T) {
+	// A zero-weight edge breaks the verification's exactness argument, so
+	// Repair refuses the graph outright — with a plain error, not
+	// ErrUnsound, because rebuilding would not make the graph acceptable.
+	nb := graph.NewBuilder(4)
+	nb.AddEdge(0, 1, 0)
+	nb.AddEdge(1, 2, 3)
+	nb.AddEdge(2, 3, 3)
+	g, err := nb.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := graph.Make(graph.FamilyRing, 4, graph.UniformWeights(2, 9), 33)
+	prev := tzPrev(t, good, 33)
+	_, err = Repair(g, prev, nil, []EdgeChange{{U: 1, V: 2}}, congestDefault())
+	if err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("zero-weight graph: got %v, want positive-weight error", err)
+	}
+	if errors.Is(err, ErrUnsound) {
+		t.Errorf("weight-model violation misreported as unsound: %v", err)
+	}
+}
+
+// TestRepairDuplicateChangesCollapse: the same edge reported several
+// times (in both orientations) repairs exactly once — the result still
+// matches a fresh rebuild on the mutated graph.
+func TestRepairDuplicateChangesCollapse(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 32, graph.UniformWeights(5, 30), 34)
+	prev := tzPrev(t, g, 34)
+	e := g.Edges()[g.M()/2]
+	ng := decreaseEdge(t, g, e.U, e.V, 1)
+	batch := []EdgeChange{
+		{U: e.U, V: e.V, PrevWeight: e.Weight},
+		{U: e.V, V: e.U, PrevWeight: e.Weight},
+		{U: e.U, V: e.V, PrevWeight: e.Weight},
+	}
+	res, err := Repair(ng, prev, nil, batch, congestDefault())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	rebuilt, err := BuildTZ(ng, TZOptions{K: 2, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < ng.N(); u++ {
+		got, want := res.Labels[u].(*sketch.TZLabel), rebuilt.Labels[u]
+		if len(got.Bunch) != len(want.Bunch) {
+			t.Fatalf("node %d: bunch size %d != rebuild %d", u, len(got.Bunch), len(want.Bunch))
+		}
+		for i := range got.Bunch {
+			if got.Bunch[i] != want.Bunch[i] {
+				t.Fatalf("node %d entry %d: %+v != rebuild %+v", u, i, got.Bunch[i], want.Bunch[i])
+			}
+		}
+	}
+}
+
+// TestRepairEmptyBatchSharesEverything: no changes means every label is
+// returned pointer-identical and nothing is counted as replaced.
+func TestRepairEmptyBatchSharesEverything(t *testing.T) {
+	g := graph.Make(graph.FamilyGeometric, 24, graph.UniformWeights(5, 20), 35)
+	prev := tzPrev(t, g, 35)
+	res, err := Repair(g, prev, nil, nil, congestDefault())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if res.Replaced != 0 || res.Shared != g.N() {
+		t.Errorf("empty batch: replaced %d shared %d, want 0 / %d", res.Replaced, res.Shared, g.N())
+	}
+	for u := range prev {
+		if res.Labels[u] != prev[u] {
+			t.Errorf("node %d: empty batch did not share the label pointer", u)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+	"distsketch/internal/tz"
+)
+
+// Suspect-cluster repair for Thorup–Zwick hierarchies (full-graph TZ
+// labels, and the net hierarchies inside CDG and graceful labels).
+//
+// A rebuild would regrow every hierarchy member's truncated cluster
+// (§3.2). The repair instead regrows only the *suspects* — the members
+// whose cluster can have changed — and splices the regrown memberships
+// into the old bunches, sharing every label whose bunch is untouched.
+//
+// With P = the endpoints of the changed edges, D = the artifact nodes
+// whose distance to some hierarchy level A_i changed (detected by
+// comparing stored pivot distances, which Build guarantees equal
+// d(·, A_i), against fresh multi-source Dijkstra distances), and
+// B_new(p) = {w : d_new(p, w) < d_new(p, A_{level(w)+1})} (the members
+// whose *new* cluster contains p, from one full Dijkstra per endpoint),
+// the suspect set is
+//
+//	W = (members of D ∪ P) ∪ ⋃_{x∈D} B_old(x) ∪ ⋃_{p∈P} B_new(p).
+//
+// Claim (decrease-only completeness): if no edge weight increased, every
+// member w whose cluster membership or recorded distance differs between
+// the old and new label sets is in W. Case analysis for an artifact x
+// whose entry for w must change:
+//
+//   - x's truncation threshold d(x, A_{l+1}) shrank while d(x, w) is
+//     unchanged (x drops out of C(w), or the stored distance is now
+//     invalid): then x ∈ D, and if w was in x's old bunch, w ∈ B_old(x).
+//   - d(x, w) decreased and x ∈ C_new(w): the new shortest w–x path uses
+//     a changed edge, so it passes through some p ∈ P; by the cluster
+//     prefix property (every vertex on a shortest path from w to a
+//     cluster member is itself in the cluster), p ∈ C_new(w), hence
+//     w ∈ B_new(p).
+//   - d(x, w) decreased and x ∉ C_new(w) but x ∈ C_old(w): membership is
+//     d(x, w) < d(x, A_{l+1}); losing it while d(x, w) shrinks forces
+//     d(x, A_{l+1}) to shrink too, so x ∈ D and w ∈ B_old(x).
+//
+// Weight increases can invalidate a kept cluster with no witness in any
+// of these sets, so callers either verify the full result afterwards
+// (TZ: verifyHierarchyExact makes the repair sound under arbitrary
+// changes) or certify the batch decrease-only up front and pass strict
+// mode (CDG/graceful, whose net-restricted labels admit no complete
+// post-hoc check).
+
+// hierarchyRepair is the outcome of repairHierarchy: repaired labels for
+// every artifact node (nil where old was nil), the fresh per-level pivot
+// distances on the new graph, and the number of clusters regrown.
+type hierarchyRepair struct {
+	labels    []*sketch.TZLabel
+	pivotDist [][]graph.Dist
+	regrown   int
+}
+
+// deriveTopLevel recovers a hierarchy member's top level from its own
+// label: the largest i whose pivot is the node itself at distance zero.
+// Sound under strictly positive weights (no other node can sit at
+// distance zero), and exact for labels produced by Build, whose pivot
+// chain always prefers (0, self) at levels up to the top level. Returns
+// -1 if the label encodes no level.
+func deriveTopLevel(l *sketch.TZLabel) int {
+	for i := len(l.Pivots) - 1; i >= 0; i-- {
+		if l.Pivots[i].Node == l.Owner && l.Pivots[i].Dist == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// repairHierarchy repairs the labels of a Thorup–Zwick hierarchy after
+// the weight changes whose endpoint pairs are given. levels[u] is u's
+// top level or -1 for non-members; old[u] is u's previous label or nil
+// for nodes that carry none (net hierarchies keep labels only at net
+// members). Labels whose bunch and pivots are unchanged are shared
+// pointer-identically. strict additionally rejects (with ErrUnsound) any
+// artifact whose distance to a hierarchy level increased — the callers
+// that cannot verify the final result use it to enforce their
+// decrease-only contract.
+func repairHierarchy(g *graph.Graph, k int, levels []int, old []*sketch.TZLabel, pairs [][2]int, strict bool) (*hierarchyRepair, error) {
+	n := g.N()
+
+	// Fresh d(·, A_i) on the new graph, one multi-source Dijkstra per
+	// level — these are both the D-detector and the regrowth thresholds.
+	hr := &hierarchyRepair{pivotDist: make([][]graph.Dist, k+1)}
+	infRow := make([]graph.Dist, n)
+	for u := range infRow {
+		infRow[u] = graph.Inf
+	}
+	hr.pivotDist[k] = infRow
+	for i := 0; i < k; i++ {
+		var ai []int
+		for u := 0; u < n; u++ {
+			if levels[u] >= i {
+				ai = append(ai, u)
+			}
+		}
+		if len(ai) == 0 {
+			hr.pivotDist[i] = infRow
+			continue
+		}
+		dist, _ := graph.MultiSourceDijkstra(g, ai)
+		hr.pivotDist[i] = dist
+	}
+
+	// Validate artifact bunches and detect D (changed pivot distances).
+	suspect := make([]bool, n)
+	dart := make([]bool, n)
+	for x, lab := range old {
+		if lab == nil {
+			continue
+		}
+		for _, it := range lab.Bunch {
+			if it.Node < 0 || it.Node >= n || it.Level < 0 || it.Level >= k || levels[it.Node] != it.Level {
+				return nil, fmt.Errorf("core: node %d bunch entry (%d, level %d) does not match the derived hierarchy; repair requires labels produced by Build", x, it.Node, it.Level)
+			}
+		}
+		for i := 0; i < k; i++ {
+			stored, fresh := lab.Pivots[i].Dist, hr.pivotDist[i][x]
+			if stored == fresh {
+				continue
+			}
+			if strict && fresh > stored {
+				return nil, fmt.Errorf("core: node %d's distance to hierarchy level %d increased (%d → %d) under a decrease-only batch; the graph does not match the certified changes: %w", x, i, stored, fresh, ErrUnsound)
+			}
+			dart[x] = true
+		}
+		if dart[x] {
+			if levels[x] >= 0 {
+				suspect[x] = true
+			}
+			for _, it := range lab.Bunch {
+				suspect[it.Node] = true
+			}
+		}
+	}
+
+	// Endpoint contributions: members of P, plus B_new(p) per endpoint
+	// (one full Dijkstra each; endpoints deduped and sorted for
+	// deterministic traversal order).
+	epSet := make(map[int]bool, 2*len(pairs))
+	for _, p := range pairs {
+		epSet[p[0]] = true
+		epSet[p[1]] = true
+	}
+	endpoints := make([]int, 0, len(epSet))
+	for p := range epSet {
+		endpoints = append(endpoints, p)
+	}
+	sort.Ints(endpoints)
+	for _, p := range endpoints {
+		if levels[p] >= 0 {
+			suspect[p] = true
+		}
+		sp := graph.Dijkstra(g, p)
+		for w := 0; w < n; w++ {
+			if levels[w] < 0 || sp.Dist[w] == graph.Inf {
+				continue
+			}
+			if sp.Dist[w] < hr.pivotDist[levels[w]+1][p] {
+				suspect[w] = true
+			}
+		}
+	}
+
+	// Regrow every suspect cluster on the new graph. Suspects are walked
+	// in ascending ID order, so each artifact's contributions arrive
+	// sorted by member ID and splice with a linear merge.
+	contrib := make([][]sketch.BunchItem, n)
+	for w := 0; w < n; w++ {
+		if !suspect[w] {
+			continue
+		}
+		l := levels[w]
+		hr.regrown++
+		tz.GrowCluster(g, w, hr.pivotDist[l+1], func(u int, d graph.Dist) {
+			if u != w && old[u] != nil {
+				contrib[u] = append(contrib[u], sketch.BunchItem{Node: w, Dist: d, Level: l})
+			}
+		})
+	}
+
+	// Splice: keep old entries for non-suspect members (their clusters
+	// cannot have changed), replace the suspects' entries with the
+	// regrown memberships, and share the label when nothing moved.
+	hr.labels = make([]*sketch.TZLabel, n)
+	for x, lab := range old {
+		if lab == nil {
+			continue
+		}
+		newB := spliceBunch(lab.Bunch, contrib[x], suspect)
+		if !dart[x] && bunchesEqual(newB, lab.Bunch) {
+			hr.labels[x] = lab
+			continue
+		}
+		nl := sketch.NewTZLabel(x, k)
+		nl.SetBunch(newB)
+		nl.Pivots = tz.PivotChain(nl.Bunch, x, levels[x], k)
+		hr.labels[x] = nl
+	}
+	return hr, nil
+}
+
+// spliceBunch merges the kept (non-suspect) entries of old with the
+// regrown contributions. Both inputs are sorted ascending by node ID and
+// their key sets are disjoint — kept entries name non-suspects, grown
+// entries name suspects — so this is a plain two-pointer merge.
+func spliceBunch(old, grown []sketch.BunchItem, suspect []bool) []sketch.BunchItem {
+	out := make([]sketch.BunchItem, 0, len(old)+len(grown))
+	i, j := 0, 0
+	for i < len(old) || j < len(grown) {
+		if i < len(old) && suspect[old[i].Node] {
+			i++
+			continue
+		}
+		if i >= len(old) && j >= len(grown) {
+			break // only suspect entries remained
+		}
+		if i < len(old) && (j >= len(grown) || old[i].Node < grown[j].Node) {
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, grown[j])
+			j++
+		}
+	}
+	return out
+}
+
+func bunchesEqual(a, b []sketch.BunchItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

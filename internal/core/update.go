@@ -13,25 +13,39 @@ import (
 // preprocessing cost because "the distance information or network itself
 // changes frequently, and this would require altering the sketches
 // periodically". For the landmark sketches of Theorem 4.3 — whose labels
-// are exact distances to the density net — an edge weight *decrease*
-// admits a cheap warm-start repair instead of a full rebuild:
+// are exact distances to the density net — a batch of edge weight
+// *decreases* admits a cheap warm-start repair instead of a full rebuild:
 //
 //  1. Every node keeps its old label (entrywise an upper bound on the
 //     new distances, since distances only shrank).
-//  2. The two endpoints of the changed edge stream their label entries
-//     to each other across it (one entry per round).
+//  2. The endpoints of every changed edge stream their label entries to
+//     each other across it (one entry per round per edge), all in the
+//     same wave.
 //  3. Any resulting improvement re-propagates as an ordinary
 //     Bellman–Ford wave.
 //
 // This converges to the exact new labels: old labels violate the
-// Bellman–Ford fixed-point condition only across the changed edge, step
-// 2 relaxes exactly that edge, and step 3 restores the invariant
-// everywhere else. Cost is proportional to the region whose distances
-// actually changed, not to S·|N| (experiment E14 quantifies the gap).
+// Bellman–Ford fixed-point condition only across the changed edges, step
+// 2 relaxes exactly those edges, and step 3 restores the invariant
+// everywhere else. The argument is per-fixed-point, not per-edge, so a
+// batch of B changes costs one convergence seeded from all 2B endpoints
+// at once rather than B sequential convergences — overlapping affected
+// regions are traversed once instead of up to B times. Cost is
+// proportional to the region whose distances actually changed, not to
+// S·|N| (experiment E14 quantifies the gap).
 //
 // Weight increases invalidate upper bounds and are not handled here —
-// they require the full rebuild, matching the classic asymmetry of
-// dynamic shortest-path maintenance.
+// Repair verifies the result with VerifyLandmarkExact and reports
+// ErrUnsound when a batch contained an effective increase.
+
+// endpointStream is one changed edge's streaming backlog at one of its
+// endpoints: the node replays its full label across the changed arc
+// (step 2 above). A node incident to several changed edges carries one
+// stream per edge; the backlogs share the same read-only entry slice.
+type endpointStream struct {
+	arc     int // adjacency index of the changed arc
+	backlog []srcDist
+}
 
 // updateNode runs the warm-start repair for one node. The previous label
 // is read-only; improvements accumulate in a private delta map, so a run
@@ -42,8 +56,7 @@ type updateNode struct {
 	base  *sketch.LandmarkLabel // previous label, never mutated
 	delta map[int]graph.Dist    // improvements discovered during repair
 
-	endpointFor int // neighbor index of the changed edge's other end; -1
-	toStream    []srcDist
+	streams []endpointStream // one per incident changed edge; empty for most nodes
 
 	fifo   [][]int
 	inFifo []map[int]bool
@@ -66,6 +79,18 @@ func (nd *updateNode) dist(src int) (graph.Dist, bool) {
 	return nd.base.Get(src)
 }
 
+// streamAt returns the stream assigned to adjacency index arc, or nil.
+// Linear scan: only changed-edge endpoints carry streams, and each holds
+// one per incident changed edge.
+func (nd *updateNode) streamAt(arc int) *endpointStream {
+	for i := range nd.streams {
+		if nd.streams[i].arc == arc {
+			return &nd.streams[i]
+		}
+	}
+	return nil
+}
+
 func (nd *updateNode) Init(ctx *congest.Context) {
 	deg := ctx.Degree()
 	nd.fifo = make([][]int, deg)
@@ -73,8 +98,11 @@ func (nd *updateNode) Init(ctx *congest.Context) {
 	for i := 0; i < deg; i++ {
 		nd.inFifo[i] = make(map[int]bool)
 	}
-	if nd.endpointFor >= 0 && len(nd.toStream) > 0 {
-		ctx.WakeNextRound()
+	for i := range nd.streams {
+		if len(nd.streams[i].backlog) > 0 {
+			ctx.WakeNextRound()
+			break
+		}
 	}
 }
 
@@ -103,13 +131,14 @@ func (nd *updateNode) enqueueAll(src int) {
 func (nd *updateNode) drain(ctx *congest.Context) {
 	pending := false
 	for i := range nd.fifo {
-		// The changed edge first carries the endpoint's streamed backlog
+		// Each changed edge first carries its endpoint's streamed backlog
 		// (step 2); improvements share it afterwards.
-		if i == nd.endpointFor && len(nd.toStream) > 0 && len(nd.fifo[i]) == 0 {
-			e := nd.toStream[0]
-			nd.toStream = nd.toStream[1:]
+		st := nd.streamAt(i)
+		if st != nil && len(st.backlog) > 0 && len(nd.fifo[i]) == 0 {
+			e := st.backlog[0]
+			st.backlog = st.backlog[1:]
 			ctx.Send(i, streamMsg{Src: e.Src, Dist: e.Dist})
-			if len(nd.toStream) > 0 {
+			if len(st.backlog) > 0 {
 				pending = true
 			}
 			continue
@@ -123,7 +152,7 @@ func (nd *updateNode) drain(ctx *congest.Context) {
 		delete(nd.inFifo[i], src)
 		d, _ := nd.dist(src)
 		ctx.Send(i, streamMsg{Src: src, Dist: d})
-		if len(nd.fifo[i]) > 0 || (i == nd.endpointFor && len(nd.toStream) > 0) {
+		if len(nd.fifo[i]) > 0 || (st != nil && len(st.backlog) > 0) {
 			pending = true
 		}
 	}
@@ -177,33 +206,56 @@ func mergeLabel(base *sketch.LandmarkLabel, delta map[int]graph.Dist) *sketch.La
 	return sketch.NewLandmarkLabelFromEntries(base.Owner, merged)
 }
 
-// UpdateLandmark repairs landmark labels after the weight of edge {a,b}
-// decreased. g must be the *new* topology (same node set and edges, the
-// one changed weight). prev is read-only: the repair accumulates
+// UpdateLandmark repairs landmark labels after the weights of a batch of
+// edges decreased. g must be the *new* topology (same node set and edges,
+// the changed weights). prev is read-only: the repair accumulates
 // improvements in fresh storage and merges them into new labels only on
 // success, so an engine error or context cancellation mid-repair leaves
 // the caller's labels exactly as they were. Labels the repair did not
 // improve are shared (pointer-identical) with prev in the result.
-func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, a, b int, cfg congest.Config) (*LandmarkResult, error) {
+//
+// All changed endpoints seed the same wave: the whole batch converges in
+// one RunUntilQuiescent instead of one per edge. Changes naming the same
+// undirected edge more than once are collapsed.
+func UpdateLandmark(g *graph.Graph, prev *LandmarkResult, changes []EdgeChange, cfg congest.Config) (*LandmarkResult, error) {
 	n := g.N()
 	if len(prev.Labels) != n {
 		return nil, fmt.Errorf("core: %d labels for n=%d", len(prev.Labels), n)
 	}
-	if _, ok := g.EdgeWeight(a, b); !ok {
-		return nil, fmt.Errorf("core: edge (%d,%d) not in graph", a, b)
+	// streamsFor[u] lists the changed-edge neighbors u must stream to.
+	streamsFor := make(map[int][]int, 2*len(changes))
+	seen := make(map[[2]int]bool, len(changes))
+	for _, c := range changes {
+		a, b := c.U, c.V
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || a < 0 || b >= n {
+			return nil, fmt.Errorf("core: edge (%d,%d) is not a repairable change", c.U, c.V)
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		if _, ok := g.EdgeWeight(a, b); !ok {
+			return nil, fmt.Errorf("core: edge (%d,%d) not in graph", a, b)
+		}
+		streamsFor[a] = append(streamsFor[a], b)
+		streamsFor[b] = append(streamsFor[b], a)
 	}
 	nodes := make([]congest.Node, n)
 	uns := make([]*updateNode, n)
 	for u := 0; u < n; u++ {
-		un := &updateNode{id: u, base: prev.Labels[u], delta: make(map[int]graph.Dist), endpointFor: -1}
-		if u == a || u == b {
-			other := b
-			if u == b {
-				other = a
-			}
-			un.endpointFor = changedArcIndex(g.Adj(u), other)
+		un := &updateNode{id: u, base: prev.Labels[u], delta: make(map[int]graph.Dist)}
+		if others := streamsFor[u]; len(others) > 0 {
+			backlog := make([]srcDist, 0, len(prev.Labels[u].Entries))
 			for _, e := range prev.Labels[u].Entries {
-				un.toStream = append(un.toStream, srcDist{Src: e.Net, Dist: e.D})
+				backlog = append(backlog, srcDist{Src: e.Net, Dist: e.D})
+			}
+			for _, other := range others {
+				arc := changedArcIndex(g.Adj(u), other)
+				// The edge was checked above, so the arc exists.
+				un.streams = append(un.streams, endpointStream{arc: arc, backlog: backlog})
 			}
 		}
 		uns[u] = un

@@ -39,7 +39,7 @@ func TestUpdateLandmarkExact(t *testing.T) {
 	// Decrease a heavy-ish edge to 1 — a change that reroutes many paths.
 	e := g.Edges()[g.M()/2]
 	ng := decreaseEdge(t, g, e.U, e.V, 1)
-	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	upd, err := UpdateLandmark(ng, prev, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestUpdateLandmarkCheaperThanRebuild(t *testing.T) {
 	}
 	e := g.Edges()[3]
 	ng := decreaseEdge(t, g, e.U, e.V, e.Weight-1) // tiny decrease: few paths change
-	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	upd, err := UpdateLandmark(ng, prev, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestUpdateLandmarkNoopChange(t *testing.T) {
 	}
 	netSize := len(prev.Net)
 	e := g.Edges()[0]
-	upd, err := UpdateLandmark(g, prev, e.U, e.V, congestDefault())
+	upd, err := UpdateLandmark(g, prev, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestUpdateLandmarkBadEdge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := UpdateLandmark(g, prev, 0, 3, congestDefault()); err == nil {
+	if _, err := UpdateLandmark(g, prev, []EdgeChange{{U: 0, V: 3}}, congestDefault()); err == nil {
 		t.Error("nonexistent edge accepted")
 	}
 }
@@ -177,7 +177,7 @@ func TestUpdateLandmarkCancelLeavesPrevIntact(t *testing.T) {
 			cancel()
 		}
 	}
-	if _, err := UpdateLandmark(ng, prev, e.U, e.V, cfg); err == nil {
+	if _, err := UpdateLandmark(ng, prev, []EdgeChange{{U: e.U, V: e.V}}, cfg); err == nil {
 		t.Fatal("canceled repair returned no error")
 	} else if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error does not wrap context.Canceled: %v", err)
@@ -187,7 +187,7 @@ func TestUpdateLandmarkCancelLeavesPrevIntact(t *testing.T) {
 	}
 
 	// The same prev must still drive a successful repair to exact labels.
-	upd, err := UpdateLandmark(ng, prev, e.U, e.V, congestDefault())
+	upd, err := UpdateLandmark(ng, prev, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestUpdateLandmarkSharesUnchangedLabels(t *testing.T) {
 	e := g.Edges()[0]
 	// No-op "decrease" to the same weight: nothing improves, so every
 	// label must be shared pointer-identical with prev.
-	upd, err := UpdateLandmark(g, prev, e.U, e.V, congestDefault())
+	upd, err := UpdateLandmark(g, prev, []EdgeChange{{U: e.U, V: e.V}}, congestDefault())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"distsketch/internal/graph"
+	"distsketch/internal/sketch"
+)
+
+// verifyHierarchyExact checks that full-graph Thorup–Zwick labels are
+// exactly what a rebuild on g would produce, given the hierarchy levels
+// and *fresh* per-level pivot distances (d(·, A_i) computed on g — the
+// caller's repairHierarchy already holds them). It is the hierarchy
+// analogue of VerifyLandmarkExact: a Bellman–Ford-style fixed-point
+// check over the truncated clusters, written sparsely so it costs
+// O(m · avg-bunch) instead of one Dijkstra per hierarchy member.
+//
+// Write ℓ_u(w) for u's recorded distance to bunch member w (∞ when
+// absent, 0 implicitly when u = w) and T_u(w) = d(u, A_{level(w)+1}) for
+// the fresh truncation threshold. The labels pass iff for every node u:
+//
+//	validity: every entry has ℓ_u(w) < T_u(w), w ≠ u, and w's recorded
+//	          level matches the hierarchy;
+//	closure:  for every edge (u,v) and member w with ℓ_v(w) finite,
+//	          if ℓ_v(w) + wt(u,v) < T_u(w) then ℓ_u(w) ≤ ℓ_v(w) + wt;
+//	support:  every entry ℓ_u(w) (u ≠ w) has a neighbor v with
+//	          ℓ_u(w) = ℓ_v(w) + wt(u,v).
+//
+// Soundness and completeness (strictly positive weights): exact labels
+// satisfy all three — validity is the cluster membership condition,
+// closure is the triangle inequality on true distances plus the cluster
+// prefix property (a relaxation that beats T_u(w) stays inside C(w)),
+// and support takes v as the predecessor on a shortest u–w path, in C(w)
+// by the same prefix property. Conversely, support chains strictly
+// decrease ℓ along positive-weight edges, so by induction on ℓ every
+// recorded value is ≥ the true distance; closure applied along shortest
+// paths (whose prefixes stay in the cluster) forces ℓ_u(w) ≤ d(u, w)
+// for every u ∈ C_new(w) — walking from w outward, each hop's through
+// value equals the true distance, which is < T by membership — so
+// recorded values on true members are exact and no member is missing;
+// validity then kills any entry outside the new cluster, since its
+// exact-by-induction value could not beat the fresh threshold. Hence
+// labels ≡ rebuild. The check never consults the old graph, which is
+// what makes the TZ repair sound under arbitrary weight changes.
+//
+// Requires a label at every node (full-graph hierarchies only — the
+// net-restricted labels of CDG sketches cannot be verified this way,
+// because closure across non-member nodes has no recorded ℓ to check).
+func verifyHierarchyExact(g *graph.Graph, levels []int, labels []*sketch.TZLabel, pivotDist [][]graph.Dist) error {
+	n := g.N()
+	if len(labels) != n {
+		return fmt.Errorf("core: %d labels for n=%d", len(labels), n)
+	}
+
+	// Pass 1: validity, and support bookkeeping allocation.
+	supported := make([][]bool, n)
+	for u, lab := range labels {
+		if lab == nil {
+			return fmt.Errorf("core: node %d has no label", u)
+		}
+		for _, it := range lab.Bunch {
+			if it.Node == u {
+				return fmt.Errorf("core: node %d lists itself in its bunch", u)
+			}
+			if it.Node < 0 || it.Node >= n || it.Level < 0 || it.Level >= len(pivotDist)-1 || levels[it.Node] != it.Level {
+				return fmt.Errorf("core: node %d bunch entry (%d, level %d) does not match the hierarchy", u, it.Node, it.Level)
+			}
+			if it.Dist >= pivotDist[it.Level+1][u] {
+				return fmt.Errorf("core: node %d keeps member %d at distance %d ≥ threshold %d (stale membership)", u, it.Node, it.Dist, pivotDist[it.Level+1][u])
+			}
+		}
+		supported[u] = make([]bool, len(lab.Bunch))
+	}
+
+	// Pass 2: closure across every arc, support detection. Both arc
+	// directions appear in the adjacency lists, so each unordered edge is
+	// relaxed both ways.
+	for u := 0; u < n; u++ {
+		bu := labels[u].Bunch
+		for _, a := range g.Adj(u) {
+			v, wt := a.To, a.Weight
+
+			// The neighbor itself as member w = v (ℓ_v(v) = 0 implicit).
+			if lv := levels[v]; lv >= 0 {
+				idx, found := bunchIndex(bu, v)
+				if !found {
+					if wt < pivotDist[lv+1][u] {
+						return fmt.Errorf("core: node %d is missing hierarchy neighbor %d (reachable at %d < threshold %d)", u, v, wt, pivotDist[lv+1][u])
+					}
+				} else {
+					if bu[idx].Dist > wt {
+						return fmt.Errorf("core: node %d records member %d at %d but the direct edge costs %d", u, v, bu[idx].Dist, wt)
+					}
+					if bu[idx].Dist == wt {
+						supported[u][idx] = true
+					}
+				}
+			}
+
+			// Members seen through v's bunch, by sorted two-pointer merge.
+			i := 0
+			for _, e := range labels[v].Bunch {
+				w := e.Node
+				if w == u || w == v {
+					continue
+				}
+				through := graph.AddDist(e.Dist, wt)
+				thresh := pivotDist[e.Level+1][u]
+				for i < len(bu) && bu[i].Node < w {
+					i++
+				}
+				if i < len(bu) && bu[i].Node == w {
+					if bu[i].Dist > through && through < thresh {
+						return fmt.Errorf("core: node %d records member %d at %d but neighbor %d offers %d", u, w, bu[i].Dist, v, through)
+					}
+					if bu[i].Dist == through {
+						supported[u][i] = true
+					}
+				} else if through < thresh {
+					return fmt.Errorf("core: node %d is missing member %d (reachable through %d at %d < threshold %d)", u, w, v, through, thresh)
+				}
+			}
+		}
+	}
+
+	// Pass 3: every recorded entry must be supported, or it is a stale
+	// value no relaxation on the new graph reproduces.
+	for u := 0; u < n; u++ {
+		for idx, ok := range supported[u] {
+			if !ok {
+				it := labels[u].Bunch[idx]
+				return fmt.Errorf("core: node %d's entry for member %d (distance %d) has no supporting neighbor", u, it.Node, it.Dist)
+			}
+		}
+	}
+	return nil
+}
+
+// bunchIndex finds node w in a canonical (sorted by node ID) bunch.
+func bunchIndex(b []sketch.BunchItem, w int) (int, bool) {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b[mid].Node < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b) && b[lo].Node == w {
+		return lo, true
+	}
+	return lo, false
+}

@@ -46,7 +46,7 @@ func E14(cfg Config) *Table {
 			ng := reweight(g, e, w)
 			// UpdateLandmark treats prev as read-only, so the one base
 			// build is shared across both change scenarios.
-			upd, err := core.UpdateLandmark(ng, prev, e.U, e.V, congestCfg())
+			upd, err := core.UpdateLandmark(ng, prev, []core.EdgeChange{{U: e.U, V: e.V}}, congestCfg())
 			if err != nil {
 				t.Failf("%s %s update: %v", f, change.name, err)
 				continue

@@ -472,6 +472,141 @@ func TestFaultShutdownDuringUpdateStorm(t *testing.T) {
 	}
 }
 
+// TestFaultShutdownMidBatchRepair parks a batch repair at the instant
+// before its commit (the repairHook "swap" seam), then drains and — in
+// the cancel variant — abandons the client mid-flight. The invariants:
+// while the repair is in flight the served set is still pointer- and
+// byte-identical to the pre-batch set (readers never see a torn state),
+// and after shutdown the live set equals the full-batch replay exactly —
+// the batch committed whole or not at all. Runs for every sketch kind:
+// all four repair through the same clone-repair-verify-swap pipeline.
+func TestFaultShutdownMidBatchRepair(t *testing.T) {
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 48, 10, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six decreases spread across the graph, as one array-body batch.
+	repl := map[[2]int]distsketch.Dist{}
+	var parts []string
+	var changes []distsketch.EdgeChange
+	for i := 0; len(parts) < 6 && i < g.M(); i += g.M() / 7 {
+		e := g.Edges()[i]
+		key := [2]int{e.U, e.V}
+		if _, dup := repl[key]; dup || e.Weight < 2 {
+			continue
+		}
+		repl[key] = e.Weight / 2
+		parts = append(parts, fmt.Sprintf(`{"u":%d,"v":%d,"weight":%d}`, e.U, e.V, e.Weight/2))
+		changes = append(changes, distsketch.EdgeChange{U: e.U, V: e.V, PrevWeight: e.Weight})
+	}
+	if len(parts) < 3 {
+		t.Fatalf("test graph yielded only %d usable changes", len(parts))
+	}
+	body := "[" + strings.Join(parts, ",") + "]"
+	ng, err := reweighAll(g, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []distsketch.Kind{distsketch.KindTZ, distsketch.KindLandmark, distsketch.KindCDG, distsketch.KindGraceful} {
+		for _, cancelClient := range []bool{false, true} {
+			name := string(kind)
+			if cancelClient {
+				name += "/client-gone"
+			}
+			t.Run(name, func(t *testing.T) {
+				set, err := distsketch.Build(g, distsketch.Options{Kind: kind, K: 2, Eps: 0.25, Seed: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv, err := New(set, Options{Graph: g, Logger: discardLogger()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				entered := make(chan struct{})
+				release := make(chan struct{})
+				srv.repairHook = func(stage string) {
+					if stage == "swap" {
+						close(entered)
+						<-release
+					}
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				hs := &http.Server{Handler: srv.Handler()}
+				go hs.Serve(ln)
+				base := "http://" + ln.Addr().String()
+
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				done := make(chan int, 1)
+				go func() {
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/update-edge", strings.NewReader(body))
+					if err != nil {
+						done <- -1
+						return
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						done <- 0 // canceled mid-flight
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					done <- resp.StatusCode
+				}()
+
+				<-entered
+				// Repair finished, commit pending: readers still see the
+				// pre-batch set, byte for byte.
+				if srv.Set() != set {
+					t.Fatal("served set swapped before the commit point")
+				}
+				for u := 0; u < set.N(); u++ {
+					if !bytes.Equal(srv.Set().SketchBytes(u), set.SketchBytes(u)) {
+						t.Fatalf("node %d: served bytes changed mid-repair", u)
+					}
+				}
+				srv.BeginDrain()
+				if cancelClient {
+					cancel() // the client walks away; the repair must still commit whole
+				}
+				close(release)
+
+				sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer scancel()
+				if err := hs.Shutdown(sctx); err != nil {
+					t.Fatalf("graceful shutdown did not complete: %v", err)
+				}
+				code := <-done
+				if !cancelClient && code != http.StatusOK {
+					t.Fatalf("batch update: status %d, want 200", code)
+				}
+
+				// The live set is the full-batch replay exactly: the swap is
+				// atomic, so an interrupted batch commits whole or vanishes —
+				// here it had passed verification, so it committed.
+				replica := set.Clone()
+				if _, err := replica.UpdateEdges(ng, changes); err != nil {
+					t.Fatalf("replica batch: %v", err)
+				}
+				final := srv.Set()
+				for u := 0; u < set.N(); u++ {
+					if !bytes.Equal(final.SketchBytes(u), replica.SketchBytes(u)) {
+						t.Fatalf("node %d: live set differs from full-batch replay after shutdown", u)
+					}
+				}
+				if c := srv.Counters(); c.Updates != 1 || c.PanicsRecovered != 0 {
+					t.Errorf("counters after storm: %d updates / %d panics, want 1 / 0", c.Updates, c.PanicsRecovered)
+				}
+			})
+		}
+	}
+}
+
 // reCRCEnv recomputes the envelope checksum after a deliberate payload
 // mutation (envelope layout: 6-byte magic, version byte, uvarint
 // payload length, payload, crc32-IEEE little-endian).

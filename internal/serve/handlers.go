@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -18,9 +19,10 @@ import (
 // (non-integer ids, bad JSON, negative weights), 404 for well-formed ids
 // naming a node or edge that does not exist, 413 for oversized batches,
 // 409 for /update-edge without a loaded topology (or /save without a
-// snapshot path), 422 when a repair is impossible (a weight increase
-// that changes distances, a non-landmark kind) and the caller must
-// rebuild instead, 503 with Retry-After when the admission gate sheds
+// snapshot path), 422 with rebuild_required:true when a batch cannot be
+// repaired incrementally (a weight increase the kind cannot verify
+// exact) and the caller must rebuild instead, 503 with Retry-After when
+// the admission gate sheds
 // load, the per-request deadline expires mid-execution, or /readyz is
 // draining, and 500 with node/offset context when a lazily loaded label
 // turns out to be corrupt (distsketch.ErrCorruptLabel; counted in
@@ -57,19 +59,29 @@ type BatchReply struct {
 	Results []QueryResult `json:"results"`
 }
 
-// UpdateRequest is the POST /update-edge body: the new weight of an
-// existing edge {u,v}.
+// UpdateRequest is one edge change of a POST /update-edge request: the
+// new weight of an existing edge {u,v}. The body is either a single
+// object or a JSON array of them; an array is applied as one batch — one
+// clone, one repair, one atomic swap — and rejects atomically, so a bad
+// change means no change was applied.
 type UpdateRequest struct {
 	U      int             `json:"u"`
 	V      int             `json:"v"`
 	Weight distsketch.Dist `json:"weight"`
 }
 
-// UpdateReply reports the CONGEST cost of an applied repair.
+// UpdateReply reports an applied repair batch: how many edge changes it
+// covered after dedup and no-op elimination, how the served labels moved
+// (replaced vs shared pointer-identical with the previous set), and the
+// CONGEST cost of the repair (zero for the centralized hierarchy repairs
+// of tz/cdg/graceful sketches).
 type UpdateReply struct {
-	Rounds   int   `json:"rounds"`
-	Messages int64 `json:"messages"`
-	Words    int64 `json:"words"`
+	EdgesApplied   int   `json:"edges_applied"`
+	LabelsReplaced int   `json:"labels_replaced"`
+	LabelsShared   int   `json:"labels_shared"`
+	Rounds         int   `json:"rounds"`
+	Messages       int64 `json:"messages"`
+	Words          int64 `json:"words"`
 }
 
 // StatsReply is the GET /stats response.
@@ -86,12 +98,16 @@ type StatsReply struct {
 	// as traffic touches labels.
 	SketchesDecoded int `json:"sketches_decoded"`
 	// SketchesPending counts labels not yet decoded (lazy sets only).
-	SketchesPending  int         `json:"sketches_pending"`
-	Cost             CostReply   `json:"cost"`
-	Phases           []CostPhase `json:"phases,omitempty"`
-	QueriesServed    int64       `json:"queries_served"`
-	UpdatesApplied   int64       `json:"updates_applied"`
-	UpdatesSupported bool        `json:"updates_supported"`
+	SketchesPending int         `json:"sketches_pending"`
+	Cost            CostReply   `json:"cost"`
+	Phases          []CostPhase `json:"phases,omitempty"`
+	QueriesServed   int64       `json:"queries_served"`
+	// UpdatesApplied counts applied update batches (a single-object
+	// request is a one-edge batch).
+	UpdatesApplied   int64 `json:"updates_applied"`
+	UpdatesSupported bool  `json:"updates_supported"`
+	// Repair summarizes the batched-repair pipeline since startup.
+	Repair RepairReply `json:"repair"`
 	// RequestsShed counts requests rejected by the bounded in-flight
 	// admission gate (503 + Retry-After).
 	RequestsShed int64 `json:"requests_shed"`
@@ -150,8 +166,35 @@ type CostPhase struct {
 	Words    int64  `json:"words"`
 }
 
+// RepairReply is the /stats repair section: per-batch counters for the
+// clone-repair-verify-swap pipeline, with edge totals broken out per
+// sketch kind (a server serves one kind, so the map names the kinds the
+// process has actually repaired).
+type RepairReply struct {
+	// Batches counts applied repair batches (same as updates_applied).
+	Batches int64 `json:"batches"`
+	// Edges counts edge changes applied across all batches, after dedup
+	// and no-op elimination.
+	Edges int64 `json:"edges"`
+	// RebuildRejected counts batches refused with rebuild_required (the
+	// repair could not be verified sound; the served set was untouched).
+	RebuildRejected int64 `json:"rebuild_rejected"`
+	// LabelsReplaced and LabelsShared total, across applied batches, how
+	// many served labels each swap replaced vs shared with its
+	// predecessor — the repair-locality measure.
+	LabelsReplaced int64 `json:"labels_replaced"`
+	LabelsShared   int64 `json:"labels_shared"`
+	// EdgesByKind breaks Edges down by sketch kind.
+	EdgesByKind map[string]int64 `json:"edges_by_kind,omitempty"`
+}
+
 type errorReply struct {
 	Error string `json:"error"`
+	// RebuildRequired marks a 422 from /update-edge meaning this batch
+	// cannot be repaired incrementally (typically a weight increase a
+	// kind cannot verify) and the set must be rebuilt; the served set is
+	// untouched.
+	RebuildRequired bool `json:"rebuild_required,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -418,13 +461,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		QueriesServed:    s.queries.Load(),
 		UpdatesApplied:   s.updates.Load(),
-		UpdatesSupported: st.g != nil && st.set.Kind() == distsketch.KindLandmark,
+		UpdatesSupported: st.g != nil,
+		Repair: RepairReply{
+			Batches:         s.updates.Load(),
+			Edges:           s.updateEdges.Load(),
+			RebuildRejected: s.rebuildRejected.Load(),
+			LabelsReplaced:  s.labelsReplaced.Load(),
+			LabelsShared:    s.labelsShared.Load(),
+		},
 		RequestsShed:     s.shed.Load(),
 		PanicsRecovered:  s.panics.Load(),
 		DeadlineExceeded: s.deadlines.Load(),
 		DecodeFailures:   s.decodeFailures.Load(),
 		SnapshotsSaved:   s.snapshots.Load(),
 		Draining:         s.draining.Load(),
+	}
+	if edges := s.updateEdges.Load(); edges > 0 {
+		reply.Repair.EdgesByKind = map[string]int64{string(st.set.Kind()): edges}
 	}
 	for _, p := range cost.Phases {
 		reply.Phases = append(reply.Phases, CostPhase{
@@ -434,24 +487,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
-func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, 4096)
+// decodeUpdateBody parses a POST /update-edge body: a JSON array of
+// UpdateRequest (the batch form) or a single object (the 1-element
+// case), distinguished by the first non-space byte.
+func decodeUpdateBody(body []byte) ([]UpdateRequest, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []UpdateRequest
+		if err := json.Unmarshal(trimmed, &reqs); err != nil {
+			return nil, err
+		}
+		return reqs, nil
+	}
 	var req UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(trimmed, &req); err != nil {
+		return nil, err
+	}
+	return []UpdateRequest{req}, nil
+}
+
+func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
+	// ~96 bytes covers any one encoded change; the batch cap shared with
+	// POST /query bounds the array form.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*96+4096)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		if maxErr := (*http.MaxBytesError)(nil); errors.As(err, &maxErr) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
 			return
 		}
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	reqs, err := decodeUpdateBody(body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	if len(reqs) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d changes exceed the %d-change batch cap", len(reqs), s.maxBatch)
 		return
 	}
 	// Weights below 1 are refused even though the graph model allows 0:
 	// the repair verification's exactness argument needs strictly
 	// positive weights (a zero-weight cycle could mutually support stale
 	// labels and sneak a wrong set past the swap).
-	if req.Weight < 1 || req.Weight >= distsketch.Inf {
-		writeError(w, http.StatusBadRequest, "weight %d outside [1, Inf)", req.Weight)
-		return
+	for _, q := range reqs {
+		if q.Weight < 1 || q.Weight >= distsketch.Inf {
+			writeError(w, http.StatusBadRequest, "edge (%d,%d): weight %d outside [1, Inf)", q.U, q.V, q.Weight)
+			return
+		}
 	}
 	// Serialize the whole clone-repair-swap cycle; the topology read must
 	// happen under the lock so back-to-back updates compose.
@@ -472,49 +561,94 @@ func (s *Server) handleUpdateEdge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "server holds no topology; restart with a graph to enable /update-edge")
 		return
 	}
-	// Refuse unsupported kinds before paying for the O(m) reweigh and
-	// the set clone — the repair would only discover it at the end.
-	if kind := st.set.Kind(); kind != distsketch.KindLandmark {
-		writeError(w, http.StatusUnprocessableEntity,
-			"incremental repair is not supported for %s sketches (only %s); rebuild instead", kind, distsketch.KindLandmark)
+	n := st.g.N()
+	// Validate every change against the held topology before any repair
+	// work: the batch rejects as a whole or applies as a whole. Repeats of
+	// the same edge collapse to the last-written weight (the batch behaves
+	// like applying its changes in order).
+	repl := make(map[[2]int]distsketch.Dist, len(reqs))
+	order := make([][2]int, 0, len(reqs))
+	for _, q := range reqs {
+		if q.U < 0 || q.U >= n || q.V < 0 || q.V >= n {
+			writeError(w, http.StatusNotFound, "edge (%d,%d): node id outside [0,%d)", q.U, q.V, n)
+			return
+		}
+		a, b := q.U, q.V
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, ok := st.g.EdgeWeight(a, b); !ok {
+			writeError(w, http.StatusNotFound, "edge (%d,%d) not in graph", q.U, q.V)
+			return
+		}
+		if _, seen := repl[key]; !seen {
+			order = append(order, key)
+		}
+		repl[key] = q.Weight
+	}
+	// Drop no-ops (final weight equals the held topology's weight): an
+	// all-no-op batch is an idempotent retry — the current set already is
+	// the repaired set — and skips the clone-repair-verify cycle. (Like
+	// every update path, this trusts that the startup -graph matched the
+	// served set; a wrong graph file is an operator error no single
+	// request can reliably detect.)
+	changes := make([]distsketch.EdgeChange, 0, len(order))
+	for _, key := range order {
+		old, _ := st.g.EdgeWeight(key[0], key[1])
+		if repl[key] == old {
+			delete(repl, key)
+			continue
+		}
+		changes = append(changes, distsketch.EdgeChange{U: key[0], V: key[1], PrevWeight: old})
+	}
+	if len(changes) == 0 {
+		writeJSON(w, http.StatusOK, UpdateReply{LabelsShared: st.set.N()})
 		return
 	}
-	if req.U < 0 || req.U >= st.g.N() || req.V < 0 || req.V >= st.g.N() {
-		writeError(w, http.StatusNotFound, "node id outside [0,%d)", st.g.N())
-		return
-	}
-	old, ok := st.g.EdgeWeight(req.U, req.V)
-	if !ok {
-		writeError(w, http.StatusNotFound, "edge (%d,%d) not in graph", req.U, req.V)
-		return
-	}
-	if old == req.Weight {
-		// Idempotent retry: the topology the server holds already has
-		// this weight, so the current set is the repaired set and the
-		// clone-repair-verify cycle is skipped. (Like every update path,
-		// this trusts that the startup -graph matched the served set;
-		// a wrong graph file is an operator error no single request can
-		// reliably detect.)
-		writeJSON(w, http.StatusOK, UpdateReply{})
-		return
-	}
-	next, err := reweigh(st.g, req.U, req.V, req.Weight)
+	next, err := reweighAll(st.g, repl)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Repair a clone off to the side; readers keep hitting the old set
 	// until the swap below. A failed repair leaves them on it for good.
+	// The whole batch pays exactly one clone and one swap.
+	if s.repairHook != nil {
+		s.repairHook("clone")
+	}
 	setClone := st.set.Clone()
-	stats, err := setClone.UpdateEdge(next, req.U, req.V)
+	stats, err := setClone.UpdateEdges(next, changes)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		rebuild := errors.Is(err, distsketch.ErrRebuildRequired)
+		if rebuild {
+			s.rebuildRejected.Add(1)
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, errorReply{Error: err.Error(), RebuildRequired: rebuild})
 		return
+	}
+	// Diff the swap for the reply and the repair-locality counters: the
+	// repair shares unchanged labels pointer-identically, so comparing
+	// sketch pointers counts exactly the replaced ones.
+	replaced := 0
+	for u := 0; u < setClone.N(); u++ {
+		if setClone.Sketch(u) != st.set.Sketch(u) {
+			replaced++
+		}
+	}
+	if s.repairHook != nil {
+		s.repairHook("swap")
 	}
 	s.cur.Store(&state{set: setClone, g: next})
 	s.updates.Add(1)
+	s.updateEdges.Add(int64(len(changes)))
+	s.labelsReplaced.Add(int64(replaced))
+	s.labelsShared.Add(int64(setClone.N() - replaced))
 	writeJSON(w, http.StatusOK, UpdateReply{
-		Rounds: stats.Rounds, Messages: stats.Messages, Words: stats.Words,
+		EdgesApplied:   len(changes),
+		LabelsReplaced: replaced,
+		LabelsShared:   setClone.N() - replaced,
+		Rounds:         stats.Rounds, Messages: stats.Messages, Words: stats.Words,
 	})
 }
 
@@ -575,14 +709,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// reweigh rebuilds g with edge {a,b} set to weight w.
+// reweigh rebuilds g with the single edge {a,b} set to weight wt.
 func reweigh(g *distsketch.Graph, a, b int, wt distsketch.Dist) (*distsketch.Graph, error) {
 	if a > b {
 		a, b = b, a
 	}
+	return reweighAll(g, map[[2]int]distsketch.Dist{{a, b}: wt})
+}
+
+// reweighAll rebuilds g with every edge in repl (keys normalized to
+// U < V) set to its new weight — one O(m) pass for the whole batch.
+func reweighAll(g *distsketch.Graph, repl map[[2]int]distsketch.Dist) (*distsketch.Graph, error) {
 	nb := distsketch.NewGraphBuilder(g.N())
 	for _, e := range g.Edges() {
-		if e.U == a && e.V == b {
+		if wt, ok := repl[[2]int{e.U, e.V}]; ok {
 			nb.AddEdge(e.U, e.V, wt)
 		} else {
 			nb.AddEdge(e.U, e.V, e.Weight)

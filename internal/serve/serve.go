@@ -7,7 +7,7 @@
 //	POST /query         many pairs per request (amortizes handler overhead)
 //	GET  /sketch/{u}    node u's wire bytes, what a peer would request (§2.1)
 //	GET  /stats         construction cost breakdown + sketch-size summary
-//	POST /update-edge   incremental repair behind an atomic set swap
+//	POST /update-edge   batched incremental repair behind one atomic set swap
 //	POST /save          crash-safe snapshot of the served set (SnapshotPath)
 //	GET  /healthz       liveness: the process is up and routing
 //	GET  /readyz        readiness: envelope loaded, not draining
@@ -121,17 +121,26 @@ type Server struct {
 	logger       *log.Logger
 	draining     atomic.Bool
 
-	queries        atomic.Int64 // estimates served (single + batched)
-	updates        atomic.Int64 // repairs applied
-	shed           atomic.Int64 // requests rejected by the admission gate
-	panics         atomic.Int64 // handler panics recovered
-	deadlines      atomic.Int64 // requests cut off by the per-request deadline
-	decodeFailures atomic.Int64 // corrupt lazily loaded labels hit by traffic
-	snapshots      atomic.Int64 // POST /save snapshots written
+	queries         atomic.Int64 // estimates served (single + batched)
+	updates         atomic.Int64 // repair batches applied
+	updateEdges     atomic.Int64 // edge changes applied across all batches
+	rebuildRejected atomic.Int64 // batches refused with rebuild_required
+	labelsReplaced  atomic.Int64 // labels replaced by applied swaps
+	labelsShared    atomic.Int64 // labels shared across applied swaps
+	shed            atomic.Int64 // requests rejected by the admission gate
+	panics          atomic.Int64 // handler panics recovered
+	deadlines       atomic.Int64 // requests cut off by the per-request deadline
+	decodeFailures  atomic.Int64 // corrupt lazily loaded labels hit by traffic
+	snapshots       atomic.Int64 // POST /save snapshots written
 
 	// queryHook, when non-nil, runs before each batched pair executes —
 	// a test seam for deadline and overload fault injection.
 	queryHook func()
+	// repairHook, when non-nil, observes the update pipeline's stages
+	// ("clone" just before the set clone, "swap" just before the pointer
+	// store) — a test seam pinning the one-clone-one-swap-per-batch
+	// contract.
+	repairHook func(stage string)
 }
 
 // New creates a server over a built (typically reloaded) sketch set.
@@ -189,7 +198,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // reads it after the drain completes.
 type Counters struct {
 	Queries          int64
-	Updates          int64
+	Updates          int64 // applied repair batches
+	UpdateEdges      int64 // edge changes applied across all batches
+	RebuildRejected  int64 // batches refused with rebuild_required
+	LabelsReplaced   int64 // labels replaced by applied swaps
+	LabelsShared     int64 // labels shared across applied swaps
 	Shed             int64
 	PanicsRecovered  int64
 	DeadlineExceeded int64
@@ -202,6 +215,10 @@ func (s *Server) Counters() Counters {
 	return Counters{
 		Queries:          s.queries.Load(),
 		Updates:          s.updates.Load(),
+		UpdateEdges:      s.updateEdges.Load(),
+		RebuildRejected:  s.rebuildRejected.Load(),
+		LabelsReplaced:   s.labelsReplaced.Load(),
+		LabelsShared:     s.labelsShared.Load(),
 		Shed:             s.shed.Load(),
 		PanicsRecovered:  s.panics.Load(),
 		DeadlineExceeded: s.deadlines.Load(),

@@ -20,8 +20,9 @@ import (
 )
 
 // buildSet constructs a small landmark set and its topology for serving
-// tests. Landmark is the kind with full serving coverage (it alone
-// supports /update-edge repairs).
+// tests. Every kind repairs through the same batched pipeline now;
+// landmark stays the default because its repairs carry CONGEST cost
+// numbers the update replies can assert on.
 func buildSet(t *testing.T) (*distsketch.SketchSet, *distsketch.Graph) {
 	t.Helper()
 	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 64, 10, 100, 7)
@@ -415,8 +416,10 @@ func TestUpdateEdgeMalformed(t *testing.T) {
 		t.Errorf("update-edge without graph: status %d, want 409", code)
 	}
 
-	// Non-landmark kinds cannot repair: 422 directing to rebuild.
-	g2, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 32, 1, 20, 3)
+	// Every kind repairs through the same batch pipeline now: a TZ set
+	// accepts a decrease (the result is verified against the new graph),
+	// and a same-weight retry is an idempotent 200 no-op.
+	g2, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 32, 2, 20, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,9 +429,17 @@ func TestUpdateEdgeMalformed(t *testing.T) {
 	}
 	e := g2.Edges()[0]
 	tzServer := newTestServer(t, tzSet, Options{Graph: g2})
-	body := fmt.Sprintf(`{"u":%d,"v":%d,"weight":%d}`, e.U, e.V, e.Weight)
-	if code := postJSON(t, tzServer.URL+"/update-edge", body, nil); code != http.StatusUnprocessableEntity {
-		t.Errorf("update-edge on tz set: status %d, want 422", code)
+	var upd UpdateReply
+	body := fmt.Sprintf(`{"u":%d,"v":%d,"weight":1}`, e.U, e.V)
+	if code := postJSON(t, tzServer.URL+"/update-edge", body, &upd); code != http.StatusOK {
+		t.Errorf("update-edge decrease on tz set: status %d, want 200", code)
+	} else if upd.EdgesApplied != 1 {
+		t.Errorf("tz decrease applied %d edges, want 1", upd.EdgesApplied)
+	}
+	body = fmt.Sprintf(`{"u":%d,"v":%d,"weight":1}`, e.U, e.V)
+	upd = UpdateReply{}
+	if code := postJSON(t, tzServer.URL+"/update-edge", body, &upd); code != http.StatusOK || upd.EdgesApplied != 0 {
+		t.Errorf("idempotent retry: status %d, applied %d; want 200, 0", code, upd.EdgesApplied)
 	}
 }
 

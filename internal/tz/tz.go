@@ -107,32 +107,48 @@ func BuildHierarchy(g *graph.Graph, k int, levels []int) (*Oracle, error) {
 	// a distributed node can compute locally from its phase results
 	// (DESIGN.md §5.5/5.6), while yielding the same distances d(u, A_i).
 	for u := 0; u < n; u++ {
-		lab := o.Labels[u]
-		byLevel := make([][2]int64, k) // (dist, id) lexmin per level; id -1 = none
-		for i := range byLevel {
-			byLevel[i] = [2]int64{int64(graph.Inf), -1}
-		}
-		for _, it := range lab.Bunch {
-			c := [2]int64{int64(it.Dist), int64(it.Node)}
-			if lexLess(c, byLevel[it.Level]) {
-				byLevel[it.Level] = c
-			}
-		}
-		best := [2]int64{int64(graph.Inf), -1}
-		for i := k - 1; i >= 0; i-- {
-			if lexLess(byLevel[i], best) {
-				best = byLevel[i]
-			}
-			if levels[u] >= i {
-				self := [2]int64{0, int64(u)}
-				if lexLess(self, best) {
-					best = self
-				}
-			}
-			lab.Pivots[i] = sketch.Pivot{Node: int(best[1]), Dist: graph.Dist(best[0])}
-		}
+		o.Labels[u].Pivots = PivotChain(o.Labels[u].Bunch, u, levels[u], k)
 	}
 	return o, nil
+}
+
+// PivotChain computes the pivot chain p_0..p_{k-1} of a node from its
+// canonical bunch: per level, the (dist, ID)-lexicographic minimum among
+// the node itself (at levels up to topLevel), the level's bunch members,
+// and the next level's pivot. This is the single pivot function shared by
+// the centralized builder and the incremental repair path — a bunch
+// determines its pivots, so a repair that reproduces a rebuild's bunch
+// reproduces its pivots too. Bunch items with levels outside [0, k) are
+// ignored (they cannot exist in builder output; wire input is unchecked).
+func PivotChain(bunch []sketch.BunchItem, owner, topLevel, k int) []sketch.Pivot {
+	byLevel := make([][2]int64, k) // (dist, id) lexmin per level; id -1 = none
+	for i := range byLevel {
+		byLevel[i] = [2]int64{int64(graph.Inf), -1}
+	}
+	for _, it := range bunch {
+		if it.Level < 0 || it.Level >= k {
+			continue
+		}
+		c := [2]int64{int64(it.Dist), int64(it.Node)}
+		if lexLess(c, byLevel[it.Level]) {
+			byLevel[it.Level] = c
+		}
+	}
+	pivots := make([]sketch.Pivot, k)
+	best := [2]int64{int64(graph.Inf), -1}
+	for i := k - 1; i >= 0; i-- {
+		if lexLess(byLevel[i], best) {
+			best = byLevel[i]
+		}
+		if topLevel >= i {
+			self := [2]int64{0, int64(owner)}
+			if lexLess(self, best) {
+				best = self
+			}
+		}
+		pivots[i] = sketch.Pivot{Node: int(best[1]), Dist: graph.Dist(best[0])}
+	}
+	return pivots
 }
 
 // lexLess compares (dist, id) pairs; an id of -1 means "no candidate" and
@@ -153,8 +169,25 @@ func lexLess(a, b [2]int64) bool {
 // growCluster runs the truncated Dijkstra from w (top level l) and adds w
 // to the bunch of every member of C(w) except w itself.
 func (o *Oracle) growCluster(w, l int) {
-	g := o.G
-	thresh := o.PivotDist[l+1]
+	GrowCluster(o.G, w, o.PivotDist[l+1], func(u int, d graph.Dist) {
+		if u != w {
+			// Clusters are grown in ascending w order (BuildHierarchy's
+			// outer loop), so each label receives its bunch in sorted
+			// order and Set stays on its O(1) append fast path.
+			o.Labels[u].Set(w, d, l)
+		}
+	})
+}
+
+// GrowCluster runs the truncated Dijkstra of §3.2 from hierarchy member w:
+// visit(u, d) is called once per cluster member u — including w itself at
+// distance 0 — in ascending (dist, ID) order, with d = d(u, w) < thresh[u].
+// thresh must be d(·, A_{l+1}) for w's top level l; the truncation is sound
+// because every vertex on a shortest path from w to a cluster member is
+// itself in the cluster. Shared by BuildHierarchy and the incremental
+// repair path, which regrows exactly the clusters a weight change can have
+// touched.
+func GrowCluster(g *graph.Graph, w int, thresh []graph.Dist, visit func(u int, d graph.Dist)) {
 	dist := map[int]graph.Dist{w: 0}
 	h := &clusterHeap{{node: w, dist: 0}}
 	for h.Len() > 0 {
@@ -166,12 +199,7 @@ func (o *Oracle) growCluster(w, l int) {
 		if it.dist >= thresh[u] {
 			continue // u ∉ C(w): do not expand through it
 		}
-		if u != w {
-			// Clusters are grown in ascending w order (BuildHierarchy's
-			// outer loop), so each label receives its bunch in sorted
-			// order and Set stays on its O(1) append fast path.
-			o.Labels[u].Set(w, it.dist, l)
-		}
+		visit(u, it.dist)
 		for _, a := range g.Adj(u) {
 			nd := graph.AddDist(it.dist, a.Weight)
 			v := a.To

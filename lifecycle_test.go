@@ -301,13 +301,22 @@ func TestUpdateEdgePublic(t *testing.T) {
 		}
 	}
 
-	// Kinds without repair support must error cleanly.
+	// TZ sets repair through the same path now; CDG sets cannot certify a
+	// single-edge change without a previous weight and must say so with
+	// the rebuild sentinel.
 	tzSet, err := Build(g, Options{Kind: KindTZ, K: 2, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tzSet.UpdateEdge(ng, e.U, e.V); err == nil {
-		t.Error("UpdateEdge on a TZ set should error")
+	if _, err := tzSet.UpdateEdge(ng, e.U, e.V); err != nil {
+		t.Errorf("UpdateEdge on a TZ set: %v", err)
+	}
+	cdgSet, err := Build(g, Options{Kind: KindCDG, K: 2, Eps: 0.25, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cdgSet.UpdateEdge(ng, e.U, e.V); !errors.Is(err, ErrRebuildRequired) {
+		t.Errorf("UpdateEdge on a CDG set without PrevWeight: got %v, want ErrRebuildRequired", err)
 	}
 }
 

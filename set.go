@@ -362,49 +362,68 @@ func (s *SketchSet) Messages() int64 { return s.cost.Total.Messages }
 // Words returns the total message words the construction sent.
 func (s *SketchSet) Words() int64 { return s.cost.Total.Words }
 
-// UpdateEdge repairs the set in place after the weight of edge {a,b}
-// decreased, using the warm-start Bellman–Ford protocol of the paper's
-// dynamic-maintenance motivation: only the region whose distances
-// actually changed pays messages, not the whole network. g must be the
-// new topology (same node set and edges, the one changed weight). The
-// returned Stats is the cost of the repair alone; it also accumulates
-// into Cost().Total.
+// EdgeChange identifies, for UpdateEdges, one edge of the new topology
+// whose weight changed. PrevWeight is the edge's weight before the
+// change when the caller knows it (a server holding the pre-change graph
+// does), or 0 for unknown. Landmark and TZ repairs never consult it —
+// their results are verified exact against the new graph directly — but
+// CDG and graceful repairs require it: their labels cover only the
+// density net, so exactness cannot be checked after the fact and
+// soundness instead demands a certified decrease-only batch. A CDG or
+// graceful batch with an unknown PrevWeight, or one covering an
+// increase, is rejected with ErrRebuildRequired.
+type EdgeChange struct {
+	U, V       int
+	PrevWeight Dist
+}
+
+// UpdateEdges repairs the set in place after a batch of edge weight
+// changes, for every sketch kind, in one clone-repair-verify step. g
+// must be the new topology (same node set and edge set as the build
+// graph, with the changed weights). The whole batch converges together —
+// overlapping affected regions are traversed once, not once per edge —
+// and labels the repair did not change are kept pointer-identical, so
+// Sketch values handed out earlier stay valid and a serving layer can
+// diff the swap cheaply. The returned Stats is the cost of the repair
+// alone (the landmark wave's messages; the centralized hierarchy repairs
+// of the other kinds report zero); it also accumulates into
+// Cost().Total.
 //
-// The repair runs on cloned labels and the set is swapped to the result
-// only on success, so a failed repair leaves the set exactly as it was.
-// Sketch values handed out before the repair keep the pre-repair
-// labels. UpdateEdge itself is not safe for concurrent use with Query
-// on the same set; a process serving queries while repairing must
-// synchronize the swap (e.g. behind a sync.RWMutex).
+// On success the repaired labels are byte-identical to a fresh Build on
+// the mutated graph: structure (hierarchy levels, density nets) is
+// sampled from weight-independent coin streams, so a rebuild keeps it,
+// and the repair recomputes exactly the distances that could have
+// changed, verifying the result where a complete check exists (landmark
+// and TZ) or certifying the batch decrease-only up front (CDG and
+// graceful — see EdgeChange.PrevWeight).
 //
-// Repair is currently implemented for KindLandmark (whose labels are
-// exact distances to the density net, so decreases admit an exact
-// warm-start fix). Other kinds return an error and must rebuild.
+// The rejection contract is atomic: any error leaves the set exactly as
+// it was, with no partial batch applied. An error wrapping
+// ErrRebuildRequired means this batch cannot be repaired soundly —
+// typically a weight increase — and the set must be rebuilt with Build.
+// Other errors (unknown edges, out-of-range nodes, non-positive
+// weights) indicate a request that rebuilding would not fix.
 //
-// The warm-start protocol is only exact when the changed weight
-// *decreased*: the old labels are then entrywise upper bounds that
-// relaxation drives down to the new exact distances. A weight increase
-// breaks that invariant, so after the repair UpdateEdge verifies the
-// result against g (a local Bellman–Ford fixed-point check, no
-// messages); if the repaired labels are not the exact new distances the
-// set is left unchanged and the error wraps ErrRebuildRequired.
-func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
-	if s.kind != KindLandmark {
-		return Stats{}, fmt.Errorf("distsketch: incremental repair is not supported for %s sketches (only %s); rebuild instead", s.kind, KindLandmark)
-	}
+// UpdateEdges is not safe for concurrent use with Query on the same
+// set; a process serving queries while repairing must synchronize the
+// swap (internal/serve clones, repairs the clone, and swaps an atomic
+// pointer).
+func (s *SketchSet) UpdateEdges(g *Graph, edges []EdgeChange) (Stats, error) {
 	n := s.N()
 	if g.N() != n {
 		return Stats{}, fmt.Errorf("distsketch: graph has %d nodes, set has %d", g.N(), n)
 	}
-	if err := s.checkNode(a); err != nil {
-		return Stats{}, err
+	for _, e := range edges {
+		if err := s.checkNode(e.U); err != nil {
+			return Stats{}, err
+		}
+		if err := s.checkNode(e.V); err != nil {
+			return Stats{}, err
+		}
 	}
-	if err := s.checkNode(b); err != nil {
-		return Stats{}, err
-	}
-	// The post-repair exactness verification is unsound with zero-weight
-	// edges (a zero-weight cycle could mutually support stale labels), so
-	// such graphs are refused up front, before any repair work is paid.
+	// The exactness verifications are unsound with zero-weight edges (a
+	// zero-weight cycle could mutually support stale labels), so such
+	// graphs are refused up front, before any repair work is paid.
 	// Deliberately not ErrRebuildRequired: rebuilding cannot make this
 	// graph repairable, so the sentinel's remedy would mislead.
 	for _, e := range g.Edges() {
@@ -412,40 +431,50 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 			return Stats{}, fmt.Errorf("distsketch: graph has zero-weight edge (%d,%d); incremental repair requires strictly positive weights", e.U, e.V)
 		}
 	}
-	// The repair relaxes every label, so a lazily loaded set is fully
+	// The repair reads every label, so a lazily loaded set is fully
 	// decoded first (repair is a control-plane operation; laziness exists
 	// for the query path).
 	if err := s.Materialize(); err != nil {
 		return Stats{}, err
 	}
-	// core.UpdateLandmark treats prev as read-only (improvements repair
-	// into fresh storage), so the live labels can be handed over directly
-	// — a mid-run failure cannot leave the set half-relaxed.
-	labels := make([]*sketch.LandmarkLabel, n)
+	// core.Repair treats prev as read-only (repaired labels go to fresh
+	// storage), so the live labels can be handed over directly — a
+	// mid-run failure cannot leave the set half-repaired.
+	prev := make([]sketch.Label, n)
 	for u, sk := range s.sketches {
-		labels[u] = sk.label.(*sketch.LandmarkLabel)
+		prev[u] = sk.label
 	}
-	prev := &core.LandmarkResult{Labels: labels, Net: s.net}
-	upd, err := core.UpdateLandmark(g, prev, a, b, congest.Config{})
+	coreEdges := make([]core.EdgeChange, len(edges))
+	for i, e := range edges {
+		coreEdges[i] = core.EdgeChange{U: e.U, V: e.V, PrevWeight: e.PrevWeight}
+	}
+	res, err := core.Repair(g, prev, s.net, coreEdges, congest.Config{})
 	if err != nil {
+		if errors.Is(err, core.ErrUnsound) {
+			return Stats{}, fmt.Errorf("distsketch: %v: %w", err, ErrRebuildRequired)
+		}
 		return Stats{}, fmt.Errorf("distsketch: %w", err)
 	}
-	// A weight increase leaves the warm-started labels below the true new
-	// distances — silently wrong estimates. Verify exactness before
-	// swapping; the repair's fresh result labels guarantee the live set
-	// is untouched on failure.
-	if verr := core.VerifyLandmarkExact(g, upd.Labels, s.net); verr != nil {
-		return Stats{}, fmt.Errorf("distsketch: repair of edge (%d,%d) did not converge to exact labels (%v); the weight likely increased, which warm-start repair cannot handle: %w", a, b, verr, ErrRebuildRequired)
-	}
 	for u := range s.sketches {
-		if upd.Labels[u] == labels[u] {
+		if res.Labels[u] == prev[u] {
 			continue // unchanged label: keep the existing Sketch value
 		}
-		s.sketches[u] = &Sketch{kind: KindLandmark, label: upd.Labels[u]}
+		s.sketches[u] = &Sketch{kind: s.kind, label: res.Labels[u]}
 	}
-	repair := statsOf(upd.Cost.Total)
+	repair := statsOf(res.Cost)
 	s.cost.Total = s.cost.Total.Add(repair)
 	return repair, nil
+}
+
+// UpdateEdge repairs the set after the weight of the single edge {a,b}
+// changed. It is exactly UpdateEdges with a one-element batch — there is
+// one repair code path — so it supports every kind on the same terms.
+// Note the single-edge form carries no PrevWeight: landmark and TZ sets
+// repair fine (their results are verified directly), but CDG and
+// graceful sets always answer ErrRebuildRequired here; use UpdateEdges
+// with EdgeChange.PrevWeight set instead.
+func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
+	return s.UpdateEdges(g, []EdgeChange{{U: a, V: b}})
 }
 
 // Sketch-set envelope: a versioned container so a built set can be saved
