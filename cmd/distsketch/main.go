@@ -12,6 +12,13 @@
 //
 //	distsketch -family geometric -n 1024 -kind tz -saveset net.dsk
 //	distsketch -loadset net.dsk -query 0:1023,5:900
+//
+// A saved envelope can be sliced into node-range shards for a
+// horizontally scaled deployment (sketchserve per shard, sketchrouter
+// in front); -mmap opens the envelope zero-copy, so splitting a
+// multi-GB set streams blobs from the page cache instead of the heap:
+//
+//	distsketch -loadset net.dsk -mmap -split 4 -splitout shards/
 package main
 
 import (
@@ -46,21 +53,29 @@ func main() {
 	saveSet := flag.String("saveset", "", "write the built sketch set to this file")
 	setVersion := flag.Int("setversion", distsketch.SetVersion2, "envelope version for -saveset: 2 (lazy-loading directory) or 1 (legacy eager)")
 	loadSet := flag.String("loadset", "", "serve queries from a previously saved sketch set (skips the build)")
+	useMmap := flag.Bool("mmap", false, "open -loadset memory-mapped (zero payload copy)")
+	split := flag.Int("split", 0, "slice the set into this many node-range shard envelopes (with -splitout)")
+	splitOut := flag.String("splitout", "", "directory receiving -split shard envelopes (created if missing)")
 	flag.Parse()
 
 	var set *distsketch.SketchSet
 	if *loadSet != "" {
-		// The recovering loader: stale temps from a killed -saveset are
+		// The recovering loaders: stale temps from a killed -saveset are
 		// swept, and a torn or corrupt envelope is quarantined to
 		// <file>.corrupt with a typed error naming the bad byte offset.
 		var err error
-		set, err = distsketch.LoadSketchSet(*loadSet)
+		if *useMmap {
+			set, err = distsketch.OpenSketchSet(*loadSet)
+		} else {
+			set, err = distsketch.LoadSketchSet(*loadSet)
+		}
 		if err != nil {
 			fatal(err)
 		}
+		defer set.Close()
 		if *summary {
-			fmt.Printf("loaded:  %s (%d nodes, kind=%s, envelope v%d, %d/%d sketches decoded)\n",
-				*loadSet, set.N(), set.Kind(), set.EnvelopeVersion(), set.DecodedSketches(), set.N())
+			fmt.Printf("loaded:  %s (%d nodes, kind=%s, envelope v%d, %d/%d sketches decoded, backing=%s)\n",
+				*loadSet, set.N(), set.Kind(), set.EnvelopeVersion(), set.DecodedSketches(), set.N(), set.Backing())
 		}
 	} else {
 		var g *distsketch.Graph
@@ -143,6 +158,28 @@ func main() {
 		}
 		if *summary {
 			fmt.Printf("saved:   %s (envelope v%d)\n", *saveSet, *setVersion)
+		}
+	}
+
+	if *split > 0 || *splitOut != "" {
+		if *split <= 0 || *splitOut == "" {
+			fatal(fmt.Errorf("-split and -splitout go together (got -split %d, -splitout %q)", *split, *splitOut))
+		}
+		if *split > set.N() {
+			fatal(fmt.Errorf("cannot split %d nodes into %d shards", set.N(), *split))
+		}
+		if err := os.MkdirAll(*splitOut, 0o755); err != nil {
+			fatal(err)
+		}
+		ranges := distsketch.EvenShardRanges(set.N(), *split)
+		paths, err := distsketch.SaveShards(*splitOut, set, ranges)
+		if err != nil {
+			fatal(err)
+		}
+		if *summary {
+			for i, p := range paths {
+				fmt.Printf("shard:   %s nodes %s\n", p, ranges[i])
+			}
 		}
 	}
 

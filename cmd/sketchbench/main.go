@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -44,6 +45,7 @@ type benchReport struct {
 	QueryPath    []queryPathRun  `json:"query_path,omitempty"`
 	ServerPath   []serverPathRun `json:"server_path,omitempty"`
 	LoadPath     []loadPathRun   `json:"load_path,omitempty"`
+	RoutedPath   []routedPathRun `json:"routed_path,omitempty"`
 	ChurnPath    []churnPathRun  `json:"churn_path,omitempty"`
 	TotalSeconds float64         `json:"total_seconds"`
 	OK           bool            `json:"ok"`
@@ -66,17 +68,33 @@ type queryPathRun struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// loadPathRun measures ReadSketchSet for one (kind, envelope version)
-// pair: load latency and allocated bytes per label. Version 1 decodes
-// every label eagerly; version 2 scans the directory and defers label
-// decoding to first touch, which is the serving-startup win the lazy
-// envelope exists for.
+// loadPathRun measures set startup for one (kind, envelope version,
+// backing) triple: load latency and allocated bytes per label. Version
+// 1 decodes every label eagerly; version 2 scans the directory and
+// defers label decoding to first touch. Backing "heap" is the copying
+// ReadSketchSet path, "mmap" is OpenSketchSet mapping the envelope
+// file and touching no payload byte — the startup mode for sets larger
+// than RAM.
 type loadPathRun struct {
 	Kind          string  `json:"kind"`
 	Version       int     `json:"envelope_version"`
+	Backing       string  `json:"backing"`
 	EnvelopeBytes int     `json:"envelope_bytes"`
 	NsPerLabel    float64 `json:"read_ns_per_label"`
 	AllocPerLabel float64 `json:"alloc_bytes_per_label"`
+}
+
+// routedPathRun compares serving topologies on identical single-query
+// traffic: one server over the full set versus a router fanning out to
+// a 4-shard fleet (≤ 2 shards per query). The gap is the price of the
+// extra network hop; the win is that no single server needs the whole
+// set resident.
+type routedPathRun struct {
+	Kind      string  `json:"kind"`
+	Shards    int     `json:"shards"`
+	DirectQPS float64 `json:"direct_queries_per_second"`
+	RoutedQPS float64 `json:"routed_queries_per_second"`
+	Overhead  float64 `json:"routing_overhead"`
 }
 
 // churnPathRun measures the batched repair pipeline under sustained
@@ -114,7 +132,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-run wall-clock JSON to this file ('-' for stdout)")
 	queryBench := flag.Bool("querybench", true, "measure the decode-once vs byte-level query path per kind")
 	serveBench := flag.Bool("servebench", true, "measure sketchserve HTTP query throughput (single vs batched)")
-	loadBench := flag.Bool("loadbench", true, "measure ReadSketchSet latency and allocations for both envelope versions")
+	loadBench := flag.Bool("loadbench", true, "measure set startup (heap copy vs mmap open) and routed vs direct query throughput")
 	churnBench := flag.Bool("churnbench", false, "measure batched vs per-edge vs rebuild repair under sustained churn (rebuilds every kind repeatedly; opt-in)")
 	flag.Parse()
 
@@ -173,10 +191,17 @@ func main() {
 	}
 	if *loadBench {
 		report.LoadPath = runLoadBench()
-		fmt.Println("load path: ReadSketchSet on 256-node geometric envelopes (v1 eager vs v2 lazy directory)")
-		fmt.Printf("%-10s  %3s  %12s  %14s  %16s\n", "kind", "ver", "bytes", "ns/label", "alloc B/label")
+		fmt.Println("load path: set startup on 256-node geometric envelopes (v1 eager vs v2 lazy; heap copy vs mmap open)")
+		fmt.Printf("%-10s  %3s  %-7s  %12s  %14s  %16s\n", "kind", "ver", "backing", "bytes", "ns/label", "alloc B/label")
 		for _, r := range report.LoadPath {
-			fmt.Printf("%-10s  v%-2d  %12d  %14.0f  %16.0f\n", r.Kind, r.Version, r.EnvelopeBytes, r.NsPerLabel, r.AllocPerLabel)
+			fmt.Printf("%-10s  v%-2d  %-7s  %12d  %14.0f  %16.0f\n", r.Kind, r.Version, r.Backing, r.EnvelopeBytes, r.NsPerLabel, r.AllocPerLabel)
+		}
+		fmt.Println()
+		report.RoutedPath = runRouteBench()
+		fmt.Println("routed path: single-query throughput, one full server vs a 4-shard fleet behind the router")
+		fmt.Printf("%-10s  %6s  %14s  %14s  %9s\n", "kind", "shards", "direct q/s", "routed q/s", "overhead")
+		for _, r := range report.RoutedPath {
+			fmt.Printf("%-10s  %6d  %14.0f  %14.0f  %8.1fx\n", r.Kind, r.Shards, r.DirectQPS, r.RoutedQPS, r.Overhead)
 		}
 		fmt.Println()
 	}
@@ -344,11 +369,144 @@ func runLoadBench() []loadPathRun {
 			out = append(out, loadPathRun{
 				Kind:          string(kind),
 				Version:       version,
+				Backing:       "heap",
 				EnvelopeBytes: len(blob),
 				NsPerLabel:    float64(took.Nanoseconds()) / float64(reps*n),
 				AllocPerLabel: float64(after.TotalAlloc-before.TotalAlloc) / float64(reps*n),
 			})
 		}
+
+		// The mmap row: same version-2 envelope, opened from a file
+		// with zero payload copies. Allocations per label should be
+		// near zero — only the directory scan and the set header.
+		var env bytes.Buffer
+		if _, err := set.WriteToVersion(&env, distsketch.SetVersion2); err != nil {
+			fmt.Fprintf(os.Stderr, "loadbench %s mmap: %v\n", kind, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(os.TempDir(), fmt.Sprintf("loadbench-%s-%d.dsk", kind, os.Getpid()))
+		if err := os.WriteFile(path, env.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadbench %s mmap: %v\n", kind, err)
+			os.Exit(1)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		backing := ""
+		for r := 0; r < reps; r++ {
+			opened, err := distsketch.OpenSketchSet(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadbench %s mmap: %v\n", kind, err)
+				os.Exit(1)
+			}
+			backing = opened.Backing()
+			opened.Close()
+		}
+		took := time.Since(start)
+		runtime.ReadMemStats(&after)
+		os.Remove(path)
+		out = append(out, loadPathRun{
+			Kind:          string(kind),
+			Version:       distsketch.SetVersion2,
+			Backing:       backing,
+			EnvelopeBytes: env.Len(),
+			NsPerLabel:    float64(took.Nanoseconds()) / float64(reps*n),
+			AllocPerLabel: float64(after.TotalAlloc-before.TotalAlloc) / float64(reps*n),
+		})
+	}
+	return out
+}
+
+// runRouteBench hammers the same single-query traffic at a full server
+// and at a router fronting a 4-shard fleet (every shard mmap-backed),
+// reporting both throughputs. Queries mix same- and cross-shard pairs
+// the way real traffic would.
+func runRouteBench() []routedPathRun {
+	const (
+		n       = 256
+		shards  = 4
+		queries = 2000
+	)
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, n, 1, 100, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routebench graph: %v\n", err)
+		os.Exit(1)
+	}
+	pair := func(i int) (int, int) { return i % n, (i*37 + 11) % n }
+	hammer := func(base string, client *http.Client) float64 {
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			u, v := pair(i)
+			resp, err := client.Get(fmt.Sprintf("%s/query?u=%d&v=%d", base, u, v))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "routebench: %v\n", err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "routebench: status %d\n", resp.StatusCode)
+				os.Exit(1)
+			}
+		}
+		return float64(queries) / time.Since(start).Seconds()
+	}
+	var out []routedPathRun
+	for _, kind := range []distsketch.Kind{distsketch.KindTZ, distsketch.KindLandmark} {
+		set, err := distsketch.Build(g, distsketch.Options{Kind: kind, K: 3, Eps: 0.25, Seed: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routebench %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		fail := func(err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "routebench %s: %v\n", kind, err)
+				os.Exit(1)
+			}
+		}
+
+		direct, err := serve.New(set, serve.Options{})
+		fail(err)
+		directTS := httptest.NewServer(direct.Handler())
+
+		dir, err := os.MkdirTemp("", "routebench")
+		fail(err)
+		paths, err := distsketch.SaveShards(dir, set, distsketch.EvenShardRanges(n, shards))
+		fail(err)
+		routerShards := make([]serve.RouterShard, len(paths))
+		var cleanup []func()
+		for i, p := range paths {
+			shard, err := distsketch.OpenSketchSet(p)
+			fail(err)
+			srv, err := serve.New(shard, serve.Options{})
+			fail(err)
+			ts := httptest.NewServer(srv.Handler())
+			lo, hi := shard.NodeRange()
+			routerShards[i] = serve.RouterShard{Base: ts.URL, Range: distsketch.ShardRange{Lo: lo, Hi: hi}}
+			cleanup = append(cleanup, ts.Close, func() { shard.Close() })
+		}
+		router, err := serve.NewRouter(routerShards, serve.RouterOptions{})
+		fail(err)
+		routerTS := httptest.NewServer(router.Handler())
+
+		directQPS := hammer(directTS.URL, directTS.Client())
+		routedQPS := hammer(routerTS.URL, routerTS.Client())
+
+		routerTS.Close()
+		for _, f := range cleanup {
+			f()
+		}
+		directTS.Close()
+		os.RemoveAll(dir)
+
+		out = append(out, routedPathRun{
+			Kind:      string(kind),
+			Shards:    shards,
+			DirectQPS: directQPS,
+			RoutedQPS: routedQPS,
+			Overhead:  directQPS / routedQPS,
+		})
 	}
 	return out
 }

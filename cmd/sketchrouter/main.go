@@ -1,0 +1,119 @@
+// sketchrouter fans distance queries out across node-range shard
+// servers — the thin stateless tier that makes a sharded sketch-set
+// deployment look like one server. It holds only the shard map (learned
+// from each shard's /stats at startup), touches at most 2 shards per
+// (u,v) query — one when the pair shares a shard, two via the paper's
+// sketch-exchange when it does not — and serves the same endpoint
+// shapes as sketchserve, so clients need not know sharding exists.
+//
+// Typical flow:
+//
+//	distsketch -family geometric -n 100000 -kind landmark -eps 0.25 \
+//	    -saveset net.dsk
+//	distsketch -loadset net.dsk -split 4 -splitout shards/
+//	sketchserve -set shards/shard-0-of-4.dsk -mmap -addr :7601 &
+//	sketchserve -set shards/shard-1-of-4.dsk -mmap -addr :7602 &
+//	sketchserve -set shards/shard-2-of-4.dsk -mmap -addr :7603 &
+//	sketchserve -set shards/shard-3-of-4.dsk -mmap -addr :7604 &
+//	sketchrouter -addr :7600 \
+//	    -shards http://localhost:7601,http://localhost:7602,http://localhost:7603,http://localhost:7604
+//
+//	curl 'localhost:7600/query?u=3&v=99999'
+//	curl -X POST localhost:7600/query -d '{"pairs":[{"u":0,"v":9}]}'
+//	curl localhost:7600/stats
+//
+// The router verifies at startup that the discovered shard ranges tile
+// one id space exactly — a missing or overlapping shard refuses to
+// start rather than silently misrouting. It keeps no labels and no
+// graph; restarting it is instant, and running several behind a load
+// balancer needs no coordination.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distsketch/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7600", "listen address")
+	shardList := flag.String("shards", "", "comma-separated shard base URLs (required), e.g. http://host:7601,http://host:7602")
+	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatch, "max pairs per batched POST /query")
+	discoverTimeout := flag.Duration("discover-timeout", 10*time.Second, "deadline for learning the shard map from each shard's /stats")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	if *shardList == "" {
+		fmt.Fprintln(os.Stderr, "sketchrouter: -shards is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var bases []string
+	for _, b := range strings.Split(*shardList, ",") {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		log.Fatalf("sketchrouter: -shards lists no base URLs")
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *discoverTimeout)
+	shards, err := serve.DiscoverShards(dctx, bases, nil)
+	cancel()
+	if err != nil {
+		log.Fatalf("sketchrouter: %v", err)
+	}
+	rt, err := serve.NewRouter(shards, serve.RouterOptions{MaxBatch: *maxBatch})
+	if err != nil {
+		log.Fatalf("sketchrouter: %v", err)
+	}
+	for _, sh := range rt.Shards() {
+		log.Printf("sketchrouter: shard %s -> %s", sh.Range, sh.Base)
+	}
+	log.Printf("sketchrouter: routing %d nodes across %d shards on %s (≤2 shards per query)",
+		rt.TotalNodes(), len(rt.Shards()), *addr)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sketchrouter: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("sketchrouter: shutdown signal received; draining (grace %s, /readyz now 503)", *drainTimeout)
+		rt.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("sketchrouter: drain incomplete after %s: %v; closing remaining connections", *drainTimeout, err)
+			hs.Close()
+			code = 1
+		}
+		log.Printf("sketchrouter: shutdown complete")
+		os.Exit(code)
+	}
+}

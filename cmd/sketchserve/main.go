@@ -18,6 +18,13 @@
 //	curl localhost:7600/healthz; curl localhost:7600/readyz
 //	curl -X POST localhost:7600/save                 # with -snapshot
 //
+// With -mmap the envelope is memory-mapped instead of copied: startup
+// is the O(n) directory scan alone, labels page in on first touch, and
+// a multi-GB set serves from the page cache. A version-3 shard envelope
+// (distsketch -split) serves its node range and answers 421 with a
+// redirect hint for ids owned by other shards; put cmd/sketchrouter in
+// front to fan queries across a shard fleet.
+//
 // -graph is optional; without it the server cannot apply /update-edge
 // repairs (it needs the live topology) but serves queries normally.
 // Note that /update-edge mutates the served set and the server does no
@@ -44,12 +51,32 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"distsketch"
+	"distsketch/internal/atomicfile"
 	"distsketch/internal/serve"
 )
+
+// sweepSetDir is the shard-directory form of the startup recovery the
+// single-file loader performs: a server pointed at one envelope of a
+// directory full of shards sweeps the whole directory's stale save
+// temps (an interrupted SaveShards leaves siblings behind, not just
+// this shard's temp) and reports any quarantined .corrupt files an
+// earlier start left, so one log line names every shard needing repair.
+func sweepSetDir(setPath string) {
+	dir := filepath.Dir(setPath)
+	if removed, err := atomicfile.CleanStaleDir(dir); err != nil {
+		log.Printf("sketchserve: sweeping stale temps in %s: %v", dir, err)
+	} else if len(removed) > 0 {
+		log.Printf("sketchserve: removed %d stale save temp(s) from %s", len(removed), dir)
+	}
+	if quarantined, err := filepath.Glob(filepath.Join(dir, "*.corrupt")); err == nil && len(quarantined) > 0 {
+		log.Printf("sketchserve: %d quarantined envelope(s) in %s need repair: %v", len(quarantined), dir, quarantined)
+	}
+}
 
 func main() {
 	setPath := flag.String("set", "", "sketch-set envelope to serve (required; see distsketch -saveset)")
@@ -58,6 +85,7 @@ func main() {
 	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatch, "max pairs per batched POST /query")
 	maxInFlight := flag.Int("inflight", serve.DefaultMaxInFlight, "max concurrently executing requests; excess load is shed with 503 (negative disables)")
 	reqTimeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request execution deadline (negative disables)")
+	useMmap := flag.Bool("mmap", false, "open the envelope memory-mapped (zero payload copy; labels page in on demand)")
 	snapshot := flag.String("snapshot", "", "enable POST /save: crash-safe snapshot of the served set to this path")
 	readyProbe := flag.Bool("readyprobe", false, "make GET /readyz decode a label through the query path before reporting ready")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests")
@@ -68,10 +96,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// LoadSketchSet is the recovering loader: stale save temps are swept
-	// and a corrupt envelope is quarantined so the next start does not
-	// trip on the same bytes.
-	set, err := distsketch.LoadSketchSet(*setPath)
+	// Startup recovery covers the whole directory, not just -set: a shard
+	// server's directory holds sibling shards whose save temps and
+	// quarantine leftovers deserve the same sweep.
+	sweepSetDir(*setPath)
+	// Both loaders recover: stale save temps are swept and a corrupt
+	// envelope is quarantined so the next start does not trip on the same
+	// bytes. -mmap maps the payload instead of copying it.
+	var set *distsketch.SketchSet
+	var err error
+	if *useMmap {
+		set, err = distsketch.OpenSketchSet(*setPath)
+	} else {
+		set, err = distsketch.LoadSketchSet(*setPath)
+	}
 	if err != nil {
 		var ce *distsketch.ErrCorruptEnvelope
 		if errors.As(err, &ce) && ce.Quarantined != "" {
@@ -107,8 +145,15 @@ func main() {
 	// MeanSketchWords answers from the envelope's directory for a lazily
 	// loaded (version-2) set, so this log line does not force any label
 	// decodes — startup stays an O(n) directory scan.
-	log.Printf("sketchserve: serving %s (%d nodes, kind=%s, mean sketch %.1f words, envelope v%d, %d/%d sketches decoded) on %s",
-		*setPath, set.N(), set.Kind(), set.MeanSketchWords(), set.EnvelopeVersion(), set.DecodedSketches(), set.N(), *addr)
+	log.Printf("sketchserve: serving %s (%d nodes, kind=%s, mean sketch %.1f words, envelope v%d, %d/%d sketches decoded, backing=%s) on %s",
+		*setPath, set.N(), set.Kind(), set.MeanSketchWords(), set.EnvelopeVersion(), set.DecodedSketches(), set.N(), set.Backing(), *addr)
+	if set.Backing() == "mmap" {
+		log.Printf("sketchserve: %d envelope bytes mapped, zero payload copy", set.MappedBytes())
+	}
+	if set.Sharded() {
+		lo, hi := set.NodeRange()
+		log.Printf("sketchserve: serving node-range shard [%d,%d) of %d nodes; ids owned by other shards answer 421 with a redirect hint", lo, hi, set.TotalNodes())
+	}
 	if g == nil {
 		log.Printf("sketchserve: no -graph given; POST /update-edge disabled")
 	}
@@ -151,6 +196,13 @@ func main() {
 			log.Printf("sketchserve: drain incomplete after %s: %v; closing remaining connections", *drainTimeout, err)
 			hs.Close()
 			code = 1
+		}
+		// Unmap after the drain: every in-flight reader of the mapped
+		// envelope has finished once Shutdown returns. The set being
+		// served may be a repaired clone (heap-backed) of the opened set;
+		// closing the served one releases the last reference either way.
+		if err := srv.Set().Close(); err != nil {
+			log.Printf("sketchserve: closing sketch set: %v", err)
 		}
 		c := srv.Counters()
 		log.Printf("sketchserve: shutdown complete: %d queries served, %d updates applied, %d requests shed, %d deadline hits, %d panics recovered, %d decode failures, %d snapshots saved",

@@ -204,10 +204,10 @@ func TestLazyLoadEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			lazy, err := ReadSketchSet(bytes.NewReader(v2.Bytes()))
-			if err != nil {
-				t.Fatal(err)
-			}
+			// The lazy load honors the DISTSKETCH_TEST_BACKING matrix: the
+			// same assertions must hold for a heap-read and an mmap-opened
+			// envelope.
+			lazy := loadLazyForBacking(t, v2.Bytes())
 			if got := lazy.DecodedSketches(); got != 0 {
 				t.Fatalf("v2 load decoded %d labels up front, want 0", got)
 			}
@@ -259,10 +259,7 @@ func TestLazyConcurrentQueries(t *testing.T) {
 	if _, err := set.WriteTo(&v2); err != nil {
 		t.Fatal(err)
 	}
-	lazy, err := ReadSketchSet(bytes.NewReader(v2.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
+	lazy := loadLazyForBacking(t, v2.Bytes())
 	const workers = 8
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {

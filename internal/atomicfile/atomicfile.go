@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 )
 
@@ -84,6 +85,39 @@ func CleanStale(path string) ([]string, error) {
 		}
 	}
 	return removed, nil
+}
+
+// CleanStaleDir removes stale WriteFile temps for every target in dir —
+// the directory-wide form of CleanStale, for startups that serve a
+// whole directory of envelopes (a shard directory) rather than one
+// path. It returns the paths it removed. Only names carrying the
+// WriteFile temp infix are touched; real files can never match.
+func CleanStaleDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("atomicfile: scanning %s for stale temps: %w", dir, err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !isStaleTempName(e.Name()) {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if rmErr := os.Remove(p); rmErr == nil {
+			removed = append(removed, p)
+		} else if !errors.Is(rmErr, os.ErrNotExist) {
+			return removed, fmt.Errorf("atomicfile: removing stale temp: %w", rmErr)
+		}
+	}
+	return removed, nil
+}
+
+// isStaleTempName reports whether name has the shape WriteFile temps
+// use: <base>.tmp-<random suffix>. The suffix os.CreateTemp appends is
+// never empty, so a file literally named "x.tmp-" does not match.
+func isStaleTempName(name string) bool {
+	i := strings.LastIndex(name, tmpInfix)
+	return i > 0 && i+len(tmpInfix) < len(name)
 }
 
 // syncDir fsyncs a directory so a just-completed rename inside it is

@@ -102,3 +102,47 @@ func TestTornCleanStale(t *testing.T) {
 		t.Errorf("second sweep: %v, %v", removed, err)
 	}
 }
+
+// TestCleanStaleDir sweeps every torn temp file in a directory in one
+// pass — the shard-directory startup sweep — while leaving finished
+// envelopes and non-temp names alone.
+func TestCleanStaleDir(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	staleA := mk("shard-0-of-4.dsk" + tmpInfix + "999")
+	staleB := mk("shard-1-of-4.dsk" + tmpInfix + "abc")
+	keepShard := mk("shard-0-of-4.dsk")
+	// Leading infix (hidden file) and bare infix are not our temps.
+	keepHidden := mk(tmpInfix + "weird")
+	keepBare := mk("name" + tmpInfix)
+
+	removed, err := CleanStaleDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two stale temps", removed)
+	}
+	for _, gone := range []string{staleA, staleB} {
+		if _, err := os.Stat(gone); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s should have been swept", gone)
+		}
+	}
+	for _, keep := range []string{keepShard, keepHidden, keepBare} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Errorf("%s should survive the sweep: %v", keep, err)
+		}
+	}
+	if removed, err := CleanStaleDir(dir); err != nil || len(removed) != 0 {
+		t.Errorf("second sweep: %v, %v", removed, err)
+	}
+	if _, err := CleanStaleDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("CleanStaleDir on a missing directory should error")
+	}
+}

@@ -98,10 +98,20 @@ type StatsReply struct {
 	// as traffic touches labels.
 	SketchesDecoded int `json:"sketches_decoded"`
 	// SketchesPending counts labels not yet decoded (lazy sets only).
-	SketchesPending int         `json:"sketches_pending"`
-	Cost            CostReply   `json:"cost"`
-	Phases          []CostPhase `json:"phases,omitempty"`
-	QueriesServed   int64       `json:"queries_served"`
+	SketchesPending int `json:"sketches_pending"`
+	// Backing reports how the served set's payload bytes are owned:
+	// "mmap" for a set opened zero-copy over its envelope file, "heap"
+	// otherwise.
+	Backing string `json:"backing"`
+	// MappedBytes is the size of the mmap'd envelope region (0 for heap
+	// backing).
+	MappedBytes int `json:"mapped_bytes"`
+	// Shard is the node-range shard this server answers for, when the
+	// served set is a shard of a larger set; absent for a full set.
+	Shard         *ShardHint  `json:"shard,omitempty"`
+	Cost          CostReply   `json:"cost"`
+	Phases        []CostPhase `json:"phases,omitempty"`
+	QueriesServed int64       `json:"queries_served"`
 	// UpdatesApplied counts applied update batches (a single-object
 	// request is a one-edge batch).
 	UpdatesApplied   int64 `json:"updates_applied"`
@@ -188,6 +198,18 @@ type RepairReply struct {
 	EdgesByKind map[string]int64 `json:"edges_by_kind,omitempty"`
 }
 
+// ShardHint is the typed redirect hint a shard server attaches to a 421
+// (Misdirected Request) reply when a query names a node that exists but
+// is owned by a different node-range shard: this server answers for
+// global ids [Lo, Hi) out of Total. A router (or any client holding the
+// shard map) uses it to re-aim the request; a client without the map
+// learns the id was valid, just mis-routed.
+type ShardHint struct {
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Total int `json:"total"`
+}
+
 type errorReply struct {
 	Error string `json:"error"`
 	// RebuildRequired marks a 422 from /update-edge meaning this batch
@@ -195,6 +217,9 @@ type errorReply struct {
 	// kind cannot verify) and the set must be rebuilt; the served set is
 	// untouched.
 	RebuildRequired bool `json:"rebuild_required,omitempty"`
+	// Shard carries the serving shard's node range on a 421 reply (the
+	// requested node exists but lives in a different shard).
+	Shard *ShardHint `json:"shard,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -254,15 +279,32 @@ func resultInto(u, v int, d distsketch.Dist, err error, slot *distsketch.Dist) Q
 
 // queryStatus maps a checked-query failure to a status code, counting
 // decode failures as it classifies: an out-of-range id is the client's
-// fault (404); a corrupt lazily loaded label is the envelope's (500 —
-// the error text already names the node and its envelope byte offset,
-// so the operator can find the bad bytes).
+// fault (404); an id owned by a different node-range shard is a routing
+// miss (421 Misdirected Request — the caller should re-aim, see
+// writeQueryError's hint); a corrupt lazily loaded label is the
+// envelope's fault (500 — the error text already names the node and its
+// envelope byte offset, so the operator can find the bad bytes).
 func (s *Server) queryStatus(err error) int {
+	if errors.Is(err, distsketch.ErrShardRange) {
+		return http.StatusMisdirectedRequest
+	}
 	if errors.Is(err, distsketch.ErrNodeRange) {
 		return http.StatusNotFound
 	}
 	s.countDecodeFailure(err)
 	return http.StatusInternalServerError
+}
+
+// writeQueryError writes a checked-query failure, attaching the serving
+// shard's range as a redirect hint when the failure is a shard miss.
+func (s *Server) writeQueryError(w http.ResponseWriter, set *distsketch.SketchSet, err error) {
+	status := s.queryStatus(err)
+	reply := errorReply{Error: err.Error()}
+	if status == http.StatusMisdirectedRequest {
+		lo, hi := set.NodeRange()
+		reply.Shard = &ShardHint{Lo: lo, Hi: hi, Total: set.TotalNodes()}
+	}
+	writeJSON(w, status, reply)
 }
 
 // countDecodeFailure bumps the decode_failures counter when err is (or
@@ -285,9 +327,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	d, err := s.cur.Load().set.QueryChecked(u, v)
+	set := s.cur.Load().set
+	d, err := set.QueryChecked(u, v)
 	if err != nil {
-		writeError(w, s.queryStatus(err), "%v", err)
+		s.writeQueryError(w, set, err)
 		return
 	}
 	s.queries.Add(1)
@@ -429,7 +472,7 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	set := s.cur.Load().set
 	blob, err := set.SketchBytesChecked(u)
 	if err != nil {
-		writeError(w, s.queryStatus(err), "%v", err)
+		s.writeQueryError(w, set, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -450,6 +493,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EnvelopeVersion: st.set.EnvelopeVersion(),
 		SketchesDecoded: decoded,
 		SketchesPending: st.set.N() - decoded,
+		Backing:         st.set.Backing(),
+		MappedBytes:     st.set.MappedBytes(),
 		Cost: CostReply{
 			Rounds:          cost.Total.Rounds,
 			Messages:        cost.Total.Messages,
@@ -475,6 +520,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DecodeFailures:   s.decodeFailures.Load(),
 		SnapshotsSaved:   s.snapshots.Load(),
 		Draining:         s.draining.Load(),
+	}
+	if st.set.Sharded() {
+		lo, hi := st.set.NodeRange()
+		reply.Shard = &ShardHint{Lo: lo, Hi: hi, Total: st.set.TotalNodes()}
 	}
 	if edges := s.updateEdges.Load(); edges > 0 {
 		reply.Repair.EdgesByKind = map[string]int64{string(st.set.Kind()): edges}
@@ -666,13 +715,19 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	st := s.cur.Load()
-	if err := distsketch.SaveSketchSet(s.snapshotPath, st.set, distsketch.SetVersion2); err != nil {
+	version := distsketch.SetVersion2
+	if st.set.Sharded() {
+		// A shard can only round-trip through the shard envelope (the
+		// node range has nowhere to live in version 2).
+		version = distsketch.SetVersion3
+	}
+	if err := distsketch.SaveSketchSet(s.snapshotPath, st.set, version); err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
 		return
 	}
 	s.snapshots.Add(1)
 	writeJSON(w, http.StatusOK, SaveReply{
-		Path: s.snapshotPath, Nodes: st.set.N(), EnvelopeVersion: distsketch.SetVersion2,
+		Path: s.snapshotPath, Nodes: st.set.N(), EnvelopeVersion: version,
 	})
 }
 
@@ -698,7 +753,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.cur.Load()
 	if s.probeDecode {
-		if _, err := st.set.QueryChecked(0, 0); err != nil {
+		// Probe the first node this set actually holds — node 0 belongs to
+		// a different shard on all but the first shard server.
+		lo, _ := st.set.NodeRange()
+		if _, err := st.set.QueryChecked(lo, lo); err != nil {
 			s.countDecodeFailure(err)
 			writeError(w, http.StatusServiceUnavailable, "decode probe failed: %v", err)
 			return

@@ -1,0 +1,552 @@
+package serve
+
+// Router is the thin fan-out tier in front of node-range shard servers:
+// it owns the shard map (which global ids each shard base URL answers
+// for) and resolves every (u,v) distance query by contacting at most 2
+// shards — the paper's guarantee made topological. A pair whose two
+// nodes share a shard is forwarded whole (one upstream request, the
+// shard estimates locally); a cross-shard pair is resolved the way the
+// paper's Section 2.1 query model prescribes: fetch u's wire sketch
+// from its shard, v's from its shard, and estimate from the two blobs
+// alone. The router holds no labels, no graph, and no per-node state —
+// it is restartable in milliseconds and horizontally fungible.
+//
+// Wire compatibility: the router serves the same /query (single and
+// batch), /sketch/{u}, /stats, /healthz and /readyz shapes as a shard
+// server, so a client cannot tell a router from a single full-set
+// server — sharding is an operator decision, not a client migration.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"distsketch"
+)
+
+// RouterShard names one shard server: its base URL (scheme://host:port,
+// no trailing slash) and the global node range it owns.
+type RouterShard struct {
+	Base  string
+	Range distsketch.ShardRange
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Transport reaches the shard servers (nil means
+	// http.DefaultTransport). Tests inject counting or failing
+	// transports here.
+	Transport http.RoundTripper
+	// MaxBatch caps the pairs accepted per POST /query request (default
+	// DefaultMaxBatch). Larger batches get 413.
+	MaxBatch int
+	// Logger receives lifecycle lines. Nil means log.Default().
+	Logger *log.Logger
+}
+
+// Router fans distance queries out to node-range shard servers. Create
+// one with NewRouter and mount Handler on an http.Server. All methods
+// are safe for concurrent use.
+type Router struct {
+	shards   []RouterShard // sorted by Range.Lo; tiles [0, total)
+	total    int
+	client   *http.Client
+	maxBatch int
+	logger   *log.Logger
+	draining atomic.Bool
+
+	queries        atomic.Int64 // estimates served (single + batched)
+	sameShard      atomic.Int64 // pairs forwarded whole to one shard
+	crossShard     atomic.Int64 // pairs resolved by two-shard sketch exchange
+	upstreamErrors atomic.Int64 // shard requests that failed
+}
+
+// NewRouter creates a router over the given shard servers. The shard
+// ranges must exactly tile a [0, total) id space — every node owned by
+// exactly one shard — or routing would silently drop or double-answer
+// ids; they may be given in any order.
+func NewRouter(shards []RouterShard, opts RouterOptions) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one shard")
+	}
+	sorted := append([]RouterShard(nil), shards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Range.Lo < sorted[j].Range.Lo })
+	want := 0
+	for i, sh := range sorted {
+		if sh.Base == "" {
+			return nil, fmt.Errorf("serve: shard %d has no base URL", i)
+		}
+		if sh.Range.Lo != want {
+			return nil, fmt.Errorf("serve: shard ranges do not tile the id space: %s does not start at %d", sh.Range, want)
+		}
+		if sh.Range.Hi <= sh.Range.Lo {
+			return nil, fmt.Errorf("serve: shard %d range %s is empty", i, sh.Range)
+		}
+		want = sh.Range.Hi
+	}
+	rt := &Router{
+		shards:   sorted,
+		total:    want,
+		client:   &http.Client{Transport: opts.Transport},
+		maxBatch: opts.MaxBatch,
+		logger:   opts.Logger,
+	}
+	if rt.maxBatch <= 0 {
+		rt.maxBatch = DefaultMaxBatch
+	}
+	if rt.logger == nil {
+		rt.logger = log.Default()
+	}
+	return rt, nil
+}
+
+// TotalNodes returns the size of the routed id space.
+func (rt *Router) TotalNodes() int { return rt.total }
+
+// Shards returns the routed shard map, sorted by range.
+func (rt *Router) Shards() []RouterShard { return append([]RouterShard(nil), rt.shards...) }
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic here; in-flight fan-outs finish.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// shardOf returns the index of the shard owning global node u. u must
+// be in [0, total).
+func (rt *Router) shardOf(u int) int {
+	i := sort.Search(len(rt.shards), func(i int) bool { return rt.shards[i].Range.Hi > u })
+	return i
+}
+
+// checkNode validates u against the routed id space.
+func (rt *Router) checkNode(u int) error {
+	if u < 0 || u >= rt.total {
+		return fmt.Errorf("node %d outside [0,%d): %w", u, rt.total, distsketch.ErrNodeRange)
+	}
+	return nil
+}
+
+// DiscoverShards builds a router's shard map by asking each base URL's
+// /stats for its shard range. A base serving an unsharded full set
+// reports no range and is mapped as one shard covering [0, nodes) — a
+// router over a single full server routes everything to it, so the
+// two topologies stay interchangeable. The discovered shards are
+// validated by NewRouter, not here.
+func DiscoverShards(ctx context.Context, bases []string, client *http.Client) ([]RouterShard, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	shards := make([]RouterShard, 0, len(bases))
+	for _, base := range bases {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: discovering %s: %w", base, err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("serve: discovering %s: %w", base, err)
+		}
+		var stats StatsReply
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&stats)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("serve: discovering %s: /stats answered %d", base, resp.StatusCode)
+		}
+		if decErr != nil {
+			return nil, fmt.Errorf("serve: discovering %s: decoding /stats: %w", base, decErr)
+		}
+		r := distsketch.ShardRange{Lo: 0, Hi: stats.Nodes}
+		if stats.Shard != nil {
+			r = distsketch.ShardRange{Lo: stats.Shard.Lo, Hi: stats.Shard.Hi}
+		}
+		shards = append(shards, RouterShard{Base: base, Range: r})
+	}
+	return shards, nil
+}
+
+// RouterStatsReply is the router's GET /stats response.
+type RouterStatsReply struct {
+	TotalNodes int               `json:"total_nodes"`
+	Shards     []RouterShardInfo `json:"shards"`
+	// QueriesServed counts estimates served (single + batched pairs).
+	QueriesServed int64 `json:"queries_served"`
+	// SameShardPairs counts pairs forwarded whole to one shard;
+	// CrossShardPairs counts pairs resolved by fetching two wire
+	// sketches and estimating in the router. Their sum bounds upstream
+	// requests: fan-out never exceeds 2 shards per pair.
+	SameShardPairs  int64 `json:"same_shard_pairs"`
+	CrossShardPairs int64 `json:"cross_shard_pairs"`
+	// UpstreamErrors counts shard requests that failed (network errors
+	// and non-200 answers).
+	UpstreamErrors int64 `json:"upstream_errors"`
+	Draining       bool  `json:"draining"`
+}
+
+// RouterShardInfo is one shard map entry in the router's /stats.
+type RouterShardInfo struct {
+	Base string `json:"base"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// Handler returns the router's route table. The shapes mirror a shard
+// server's, so clients cannot tell the two apart.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", rt.handleQuery)
+	mux.HandleFunc("POST /query", rt.handleBatch)
+	mux.HandleFunc("GET /sketch/{u}", rt.handleSketch)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	return mux
+}
+
+// upstreamError classifies a failed shard request for the reply and
+// bumps the counter.
+func (rt *Router) upstreamError(shard RouterShard, err error) error {
+	rt.upstreamErrors.Add(1)
+	return fmt.Errorf("shard %s %s: %v", shard.Range, shard.Base, err)
+}
+
+// fetchSketch gets global node u's wire sketch from its owning shard.
+func (rt *Router) fetchSketch(ctx context.Context, u int) ([]byte, error) {
+	sh := rt.shards[rt.shardOf(u)]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.Base+"/sketch/"+strconv.Itoa(u), nil)
+	if err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var reply errorReply
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
+		if reply.Error == "" {
+			reply.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, rt.upstreamError(sh, fmt.Errorf("/sketch/%d answered %d: %s", u, resp.StatusCode, reply.Error))
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	return blob, nil
+}
+
+// queryPair resolves one validated pair: forwarded whole when both
+// nodes share a shard, sketch-exchange across exactly two shards
+// otherwise.
+func (rt *Router) queryPair(ctx context.Context, u, v int, fetch func(context.Context, int) ([]byte, error)) (distsketch.Dist, error) {
+	su, sv := rt.shardOf(u), rt.shardOf(v)
+	if su == sv {
+		rt.sameShard.Add(1)
+		return rt.forwardQuery(ctx, rt.shards[su], u, v)
+	}
+	rt.crossShard.Add(1)
+	bu, err := fetch(ctx, u)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := fetch(ctx, v)
+	if err != nil {
+		return 0, err
+	}
+	d, err := distsketch.Estimate(bu, bv)
+	if err != nil {
+		// The two shards disagree about the sketch kind (or a blob is
+		// corrupt) — an operator problem, not the client's.
+		rt.upstreamErrors.Add(1)
+		return 0, fmt.Errorf("estimating from fetched sketches: %v", err)
+	}
+	return d, nil
+}
+
+// forwardQuery relays a same-shard pair to its shard's single-query
+// endpoint and decodes the estimate.
+func (rt *Router) forwardQuery(ctx context.Context, sh RouterShard, u, v int) (distsketch.Dist, error) {
+	url := fmt.Sprintf("%s/query?u=%d&v=%d", sh.Base, u, v)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, rt.upstreamError(sh, err)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, rt.upstreamError(sh, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var reply errorReply
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
+		if reply.Error == "" {
+			reply.Error = http.StatusText(resp.StatusCode)
+		}
+		return 0, rt.upstreamError(sh, fmt.Errorf("/query answered %d: %s", resp.StatusCode, reply.Error))
+	}
+	var res QueryResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&res); err != nil {
+		return 0, rt.upstreamError(sh, err)
+	}
+	if res.Error != "" {
+		return 0, rt.upstreamError(sh, errors.New(res.Error))
+	}
+	if res.Unreachable || res.Estimate == nil {
+		return distsketch.Inf, nil
+	}
+	return *res.Estimate, nil
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	u, err := queryParam(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := queryParam(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := rt.checkNode(u); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err := rt.checkNode(v); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	d, err := rt.queryPair(r.Context(), u, v, rt.fetchSketch)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.queries.Add(1)
+	writeJSON(w, http.StatusOK, result(u, v, d, nil))
+}
+
+// handleBatch fans a pair batch out across the shards: same-shard pairs
+// are grouped and forwarded as one sub-batch per shard, cross-shard
+// pairs share one sketch fetch per distinct node (memoized for the
+// whole request). Per-pair failures — including a shard being down —
+// land in that pair's Error field; the batch as a whole still answers
+// 200, so one dead shard degrades the answers it owns instead of the
+// whole request.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, int64(rt.maxBatch)*64+1024)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if maxErr := (*http.MaxBytesError)(nil); errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(req.Pairs) > rt.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d pairs exceed the %d-pair batch cap", len(req.Pairs), rt.maxBatch)
+		return
+	}
+	results := make([]QueryResult, len(req.Pairs))
+	dists := make([]distsketch.Dist, len(req.Pairs))
+	// Group same-shard pairs per shard; collect cross-shard pairs.
+	groups := make(map[int][]int)
+	var cross []int
+	for i, p := range req.Pairs {
+		if err := rt.checkNode(p.U); err != nil {
+			results[i] = resultInto(p.U, p.V, 0, err, &dists[i])
+			continue
+		}
+		if err := rt.checkNode(p.V); err != nil {
+			results[i] = resultInto(p.U, p.V, 0, err, &dists[i])
+			continue
+		}
+		su, sv := rt.shardOf(p.U), rt.shardOf(p.V)
+		if su == sv {
+			groups[su] = append(groups[su], i)
+		} else {
+			cross = append(cross, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			rt.forwardSubBatch(r.Context(), rt.shards[si], req.Pairs, idxs, results, dists)
+		}(si, idxs)
+	}
+	// Cross-shard pairs: one memoized sketch fetch per distinct node for
+	// the whole batch, then local estimates.
+	if len(cross) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			memo := newSketchMemo(rt)
+			for _, i := range cross {
+				p := req.Pairs[i]
+				d, err := rt.queryPair(r.Context(), p.U, p.V, memo.fetch)
+				results[i] = resultInto(p.U, p.V, d, err, &dists[i])
+			}
+		}()
+	}
+	wg.Wait()
+	served := int64(0)
+	for i := range results {
+		if results[i].Error == "" {
+			served++
+		}
+	}
+	rt.queries.Add(served)
+	writeJSON(w, http.StatusOK, BatchReply{Results: results})
+}
+
+// forwardSubBatch posts the pairs at idxs (all owned by sh) as one
+// sub-batch and scatters the replies back to their request positions.
+// A failed sub-batch marks each of its pairs with the failure.
+func (rt *Router) forwardSubBatch(ctx context.Context, sh RouterShard, pairs []QueryPair, idxs []int, results []QueryResult, dists []distsketch.Dist) {
+	sub := BatchRequest{Pairs: make([]QueryPair, len(idxs))}
+	for k, i := range idxs {
+		sub.Pairs[k] = pairs[i]
+	}
+	rt.sameShard.Add(int64(len(idxs)))
+	reply, err := rt.postBatch(ctx, sh, sub)
+	if err != nil {
+		for _, i := range idxs {
+			p := pairs[i]
+			results[i] = resultInto(p.U, p.V, 0, err, &dists[i])
+		}
+		return
+	}
+	for k, i := range idxs {
+		res := reply.Results[k]
+		switch {
+		case res.Error != "":
+			results[i] = resultInto(pairs[i].U, pairs[i].V, 0, errors.New(res.Error), &dists[i])
+		case res.Unreachable || res.Estimate == nil:
+			results[i] = resultInto(pairs[i].U, pairs[i].V, distsketch.Inf, nil, &dists[i])
+		default:
+			results[i] = resultInto(pairs[i].U, pairs[i].V, *res.Estimate, nil, &dists[i])
+		}
+	}
+}
+
+func (rt *Router) postBatch(ctx context.Context, sh RouterShard, sub BatchRequest) (*BatchReply, error) {
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.Base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var reply errorReply
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
+		if reply.Error == "" {
+			reply.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, rt.upstreamError(sh, fmt.Errorf("/query answered %d: %s", resp.StatusCode, reply.Error))
+	}
+	var reply BatchReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<26)).Decode(&reply); err != nil {
+		return nil, rt.upstreamError(sh, err)
+	}
+	if len(reply.Results) != len(sub.Pairs) {
+		return nil, rt.upstreamError(sh, fmt.Errorf("sub-batch answered %d results for %d pairs", len(reply.Results), len(sub.Pairs)))
+	}
+	return &reply, nil
+}
+
+// sketchMemo caches wire sketches fetched during one batch, so a node
+// appearing in many cross-shard pairs is fetched once.
+type sketchMemo struct {
+	rt    *Router
+	blobs map[int][]byte
+	errs  map[int]error
+}
+
+func newSketchMemo(rt *Router) *sketchMemo {
+	return &sketchMemo{rt: rt, blobs: make(map[int][]byte), errs: make(map[int]error)}
+}
+
+func (m *sketchMemo) fetch(ctx context.Context, u int) ([]byte, error) {
+	if b, ok := m.blobs[u]; ok {
+		return b, nil
+	}
+	if err, ok := m.errs[u]; ok {
+		return nil, err
+	}
+	b, err := m.rt.fetchSketch(ctx, u)
+	if err != nil {
+		m.errs[u] = err
+		return nil, err
+	}
+	m.blobs[u] = b
+	return b, nil
+}
+
+// handleSketch proxies a wire-sketch request to the owning shard, so a
+// peer can fetch any node's sketch through the router with the same URL
+// shape it would use against a full server.
+func (rt *Router) handleSketch(w http.ResponseWriter, r *http.Request) {
+	u, err := strconv.Atoi(r.PathValue("u"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "node id %q is not an integer", r.PathValue("u"))
+		return
+	}
+	if err := rt.checkNode(u); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	blob, err := rt.fetchSketch(r.Context(), u)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := RouterStatsReply{
+		TotalNodes:      rt.total,
+		QueriesServed:   rt.queries.Load(),
+		SameShardPairs:  rt.sameShard.Load(),
+		CrossShardPairs: rt.crossShard.Load(),
+		UpstreamErrors:  rt.upstreamErrors.Load(),
+		Draining:        rt.draining.Load(),
+	}
+	for _, sh := range rt.shards {
+		reply.Shards = append(reply.Shards, RouterShardInfo{Base: sh.Base, Lo: sh.Range.Lo, Hi: sh.Range.Hi})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthReply{Status: "ok"})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyReply{Ready: true, Nodes: rt.total})
+}

@@ -148,6 +148,11 @@ func New(set *distsketch.SketchSet, opts Options) (*Server, error) {
 	if set == nil || set.N() == 0 {
 		return nil, fmt.Errorf("serve: empty sketch set")
 	}
+	if set.Sharded() && opts.Graph != nil {
+		// A shard is read-only (repair needs every label); holding a
+		// topology would advertise /update-edge support it cannot honor.
+		return nil, fmt.Errorf("serve: a node-range shard is read-only; serve it without a graph (repair the full set and re-split)")
+	}
 	if opts.Graph != nil && opts.Graph.N() != set.N() {
 		return nil, fmt.Errorf("serve: graph has %d nodes, sketch set has %d", opts.Graph.N(), set.N())
 	}

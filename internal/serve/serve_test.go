@@ -13,6 +13,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -22,7 +24,9 @@ import (
 // buildSet constructs a small landmark set and its topology for serving
 // tests. Every kind repairs through the same batched pipeline now;
 // landmark stays the default because its repairs carry CONGEST cost
-// numbers the update replies can assert on.
+// numbers the update replies can assert on. The returned set honors the
+// DISTSKETCH_TEST_BACKING matrix, so the whole serve suite runs against
+// both heap- and mmap-backed sets in CI.
 func buildSet(t *testing.T) (*distsketch.SketchSet, *distsketch.Graph) {
 	t.Helper()
 	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, 64, 10, 100, 7)
@@ -33,7 +37,34 @@ func buildSet(t *testing.T) (*distsketch.SketchSet, *distsketch.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return set, g
+	return reloadForBacking(t, set), g
+}
+
+// reloadForBacking round-trips a built set through a saved envelope
+// opened with OpenSketchSet when DISTSKETCH_TEST_BACKING=mmap; by
+// default the built (heap) set is served as-is. Estimates are identical
+// either way — that equivalence is pinned by the router tests — so the
+// serve assertions need not know which backing they run against.
+func reloadForBacking(t *testing.T, set *distsketch.SketchSet) *distsketch.SketchSet {
+	t.Helper()
+	switch mode := os.Getenv("DISTSKETCH_TEST_BACKING"); mode {
+	case "", "heap":
+		return set
+	case "mmap":
+		path := filepath.Join(t.TempDir(), "set.dsk")
+		if err := distsketch.SaveSketchSet(path, set, distsketch.SetVersion2); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := distsketch.OpenSketchSet(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { reopened.Close() })
+		return reopened
+	default:
+		t.Fatalf("unknown DISTSKETCH_TEST_BACKING %q (want heap or mmap)", mode)
+		return nil
+	}
 }
 
 func newTestServer(t *testing.T, set *distsketch.SketchSet, opts Options) *httptest.Server {

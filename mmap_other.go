@@ -1,0 +1,20 @@
+//go:build !unix
+
+package distsketch
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file onto the
+// heap instead. OpenSketchSet still works — same lazy first-touch
+// decoding, same lifecycle — but the set reports heap backing and
+// startup pays one payload copy.
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, unmap func([]byte) error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, nil, err
+	}
+	return data, false, nil, nil
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package distsketch
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping outlives f's
+// file descriptor (the kernel keeps the pages alive until Munmap), so
+// the caller may close f immediately. mapped reports a true OS mapping;
+// the !unix fallback reads a heap copy instead and reports false.
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, unmap func([]byte) error, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return data, true, syscall.Munmap, nil
+}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"distsketch/internal/congest"
@@ -89,13 +90,26 @@ type SketchSet struct {
 	// routes through lazy.
 	lazy *lazyLabels
 	// envVersion records which envelope version the set was loaded from:
-	// 0 for a set built in process, otherwise SetVersion1 or SetVersion2.
+	// 0 for a set built in process, otherwise SetVersion1 through
+	// SetVersion3.
 	envVersion int
 	cost       CostBreakdown
 	// net is the landmark density net, retained (and persisted) so a
-	// reloaded set still supports incremental repair. Nil for other
-	// kinds.
+	// reloaded set still supports incremental repair. Net ids are global
+	// node ids (against shardTotal for a shard). Nil for other kinds.
 	net []int
+	// shardLo and shardTotal describe a node-range shard sliced from a
+	// larger set (envelope version 3): this set holds the sketches of
+	// global nodes [shardLo, shardLo+N()) out of shardTotal. shardTotal
+	// is 0 for an unsharded set.
+	shardLo    int
+	shardTotal int
+	// backing owns the mapped byte region the lazy blobs point into for
+	// a set opened with OpenSketchSet; nil for heap-backed sets. closed
+	// is set by Close and makes label access fail with ErrSetClosed
+	// instead of touching a possibly unmapped region.
+	backing *backing
+	closed  bool
 }
 
 // lazyLabels is the deferred-decode state of a version-2 envelope: the
@@ -149,7 +163,8 @@ func (lz *lazyLabels) get(u int) (*Sketch, error) {
 // Kind returns the construction used.
 func (s *SketchSet) Kind() Kind { return s.kind }
 
-// N returns the number of nodes.
+// N returns the number of nodes this set holds sketches for (the shard
+// size for a sharded set; see NodeRange and TotalNodes).
 func (s *SketchSet) N() int {
 	if s.lazy != nil {
 		return len(s.lazy.blobs)
@@ -157,13 +172,39 @@ func (s *SketchSet) N() int {
 	return len(s.sketches)
 }
 
-// sketchAt returns node u's decoded sketch, decoding lazily loaded
-// labels on first touch. u must already be range-checked.
-func (s *SketchSet) sketchAt(u int) (*Sketch, error) {
-	if s.lazy != nil {
-		return s.lazy.get(u)
+// NodeRange returns the half-open global node-id range [lo, hi) this
+// set answers for: [0, N()) for an unsharded set, the shard's slice of
+// the full id space for a set loaded from a shard envelope.
+func (s *SketchSet) NodeRange() (lo, hi int) {
+	return s.shardLo, s.shardLo + s.N()
+}
+
+// TotalNodes returns the node count of the full sketch set this one was
+// sliced from — the id space queries are addressed in. For an unsharded
+// set it equals N().
+func (s *SketchSet) TotalNodes() int {
+	if s.shardTotal != 0 {
+		return s.shardTotal
 	}
-	return s.sketches[u], nil
+	return s.N()
+}
+
+// Sharded reports whether this set is a node-range shard of a larger
+// set (loaded from a version-3 envelope or sliced by WriteShard).
+func (s *SketchSet) Sharded() bool { return s.shardTotal != 0 }
+
+// sketchAt returns node u's decoded sketch, decoding lazily loaded
+// labels on first touch. u must already be range-checked against
+// NodeRange; it is translated to the shard-local slot here.
+func (s *SketchSet) sketchAt(u int) (*Sketch, error) {
+	if s.closed {
+		return nil, ErrSetClosed
+	}
+	i := u - s.shardLo
+	if s.lazy != nil {
+		return s.lazy.get(i)
+	}
+	return s.sketches[i], nil
 }
 
 // Sketch returns node u's decoded sketch (decoding it on first touch
@@ -179,13 +220,20 @@ func (s *SketchSet) Sketch(u int) *Sketch {
 	return sk
 }
 
-// checkNode validates a node id against the set's range, wrapping
-// ErrNodeRange so callers can classify the failure.
+// checkNode validates a node id against the set's range. An id outside
+// the whole id space wraps ErrNodeRange (the client named a node that
+// does not exist); an id that exists but lives in a different shard
+// wraps ErrShardRange — the typed redirect hint a shard server turns
+// into "ask the right shard" rather than "no such node".
 func (s *SketchSet) checkNode(u int) error {
-	if u < 0 || u >= s.N() {
-		return fmt.Errorf("distsketch: node %d outside [0,%d): %w", u, s.N(), ErrNodeRange)
+	lo, hi := s.NodeRange()
+	if u >= lo && u < hi {
+		return nil
 	}
-	return nil
+	if s.shardTotal != 0 && u >= 0 && u < s.shardTotal {
+		return fmt.Errorf("distsketch: node %d outside shard [%d,%d) of %d nodes: %w", u, lo, hi, s.shardTotal, ErrShardRange)
+	}
+	return fmt.Errorf("distsketch: node %d outside [%d,%d): %w", u, lo, hi, ErrNodeRange)
 }
 
 // SketchChecked is Sketch with bounds checking: an out-of-range node id
@@ -238,44 +286,66 @@ func (s *SketchSet) QueryChecked(u, v int) (Dist, error) {
 	return d, nil
 }
 
+// sketchBytesAt returns node u's serialized sketch; u must already be
+// range-checked. For a lazily loaded set the stored envelope bytes are
+// cloned out of the backing, so the returned slice stays valid after
+// the set is closed or swapped away.
+func (s *SketchSet) sketchBytesAt(u int) ([]byte, error) {
+	if s.closed {
+		return nil, ErrSetClosed
+	}
+	i := u - s.shardLo
+	if s.lazy != nil {
+		return bytes.Clone(s.lazy.blobs[i]), nil
+	}
+	return sketch.Marshal(s.sketches[i].label), nil
+}
+
 // SketchBytes returns node u's serialized sketch (what u would hand to a
 // peer that asks for it; Section 2.1 of the paper). For a lazily loaded
 // set the stored envelope bytes are returned without decoding the label.
 // It panics if u is out of range; callers handling untrusted ids use
 // SketchBytesChecked.
 func (s *SketchSet) SketchBytes(u int) []byte {
-	if s.lazy != nil {
-		return bytes.Clone(s.lazy.blobs[u])
+	b, err := s.sketchBytesAt(u)
+	if err != nil {
+		panic(err)
 	}
-	return sketch.Marshal(s.sketches[u].label)
+	return b
 }
 
 // SketchBytesChecked is SketchBytes with bounds checking: an
-// out-of-range node id yields an error wrapping ErrNodeRange instead of
-// a panic.
+// out-of-range node id yields an error wrapping ErrNodeRange (or
+// ErrShardRange for an id held by a different shard) instead of a
+// panic.
 func (s *SketchSet) SketchBytesChecked(u int) ([]byte, error) {
 	if err := s.checkNode(u); err != nil {
 		return nil, err
 	}
-	return s.SketchBytes(u), nil
+	return s.sketchBytesAt(u)
+}
+
+// wordsAt returns the sketch size in words of the shard-local slot i.
+func (s *SketchSet) wordsAt(i int) int {
+	if s.lazy != nil {
+		return s.lazy.words[i]
+	}
+	return s.sketches[i].Words()
 }
 
 // SketchWords returns node u's sketch size in O(log n)-bit words. For a
 // lazily loaded set the count comes from the envelope's directory, not
 // from decoding the label.
 func (s *SketchSet) SketchWords(u int) int {
-	if s.lazy != nil {
-		return s.lazy.words[u]
-	}
-	return s.sketches[u].Words()
+	return s.wordsAt(u - s.shardLo)
 }
 
 // MaxSketchWords returns the largest sketch size in words. Answered from
 // the directory for lazily loaded sets (no decoding).
 func (s *SketchSet) MaxSketchWords() int {
 	m := 0
-	for u, n := 0, s.N(); u < n; u++ {
-		if w := s.SketchWords(u); w > m {
+	for i, n := 0, s.N(); i < n; i++ {
+		if w := s.wordsAt(i); w > m {
 			m = w
 		}
 	}
@@ -290,8 +360,8 @@ func (s *SketchSet) MeanSketchWords() float64 {
 		return 0
 	}
 	t := 0
-	for u := 0; u < n; u++ {
-		t += s.SketchWords(u)
+	for i := 0; i < n; i++ {
+		t += s.wordsAt(i)
 	}
 	return float64(t) / float64(n)
 }
@@ -320,6 +390,9 @@ func (s *SketchSet) Materialize() error {
 	if s.lazy == nil {
 		return nil
 	}
+	if s.closed {
+		return ErrSetClosed
+	}
 	n := len(s.lazy.blobs)
 	sketches := make([]*Sketch, n)
 	for u := 0; u < n; u++ {
@@ -331,7 +404,11 @@ func (s *SketchSet) Materialize() error {
 	}
 	s.sketches = sketches
 	s.lazy = nil
-	return nil
+	// Every label now lives on the heap; this handle has no further use
+	// for a mapped backing, so its reference is dropped here — this is
+	// what lets the serving layer's clone-repair-swap run against an
+	// mmap-opened set without leaking the mapping.
+	return s.dropBacking()
 }
 
 // Clone returns an independent copy of the set that shares the decoded
@@ -342,11 +419,20 @@ func (s *SketchSet) Materialize() error {
 // the side, then atomically swap it in while readers keep querying the
 // original.
 func (s *SketchSet) Clone() *SketchSet {
-	c := *s
+	c := new(SketchSet)
+	*c = *s
 	c.sketches = append([]*Sketch(nil), s.sketches...)
 	c.net = append([]int(nil), s.net...)
 	c.cost.Phases = append([]PhaseCost(nil), s.cost.Phases...)
-	return &c
+	if c.backing != nil && !c.closed {
+		// The clone reads the same mapped region, so it holds its own
+		// reference — the region stays mapped until every handle drops.
+		c.backing.retain()
+		runtime.SetFinalizer(c, (*SketchSet).finalize)
+	} else {
+		c.backing = nil
+	}
+	return c
 }
 
 // Cost returns the full CONGEST cost breakdown of the construction,
@@ -409,6 +495,15 @@ type EdgeChange struct {
 // swap (internal/serve clones, repairs the clone, and swaps an atomic
 // pointer).
 func (s *SketchSet) UpdateEdges(g *Graph, edges []EdgeChange) (Stats, error) {
+	if s.closed {
+		return Stats{}, ErrSetClosed
+	}
+	if s.Sharded() {
+		// A shard holds only its range's labels; a repair must see (and
+		// may rewrite) any label in the graph. Repair the full envelope
+		// and re-split instead.
+		return Stats{}, fmt.Errorf("distsketch: a node-range shard is read-only; repair the full sketch set and re-split")
+	}
 	n := s.N()
 	if g.N() != n {
 		return Stats{}, fmt.Errorf("distsketch: graph has %d nodes, set has %d", g.N(), n)
@@ -497,6 +592,12 @@ func (s *SketchSet) UpdateEdge(g *Graph, a, b int) (Stats, error) {
 //     copies, and decodes a label only when a query first touches it.
 //     Size statistics (SketchWords and friends) answer from the
 //     directory without decoding anything.
+//   - Version 3 is the node-range shard envelope: version 2's layout
+//     plus the shard's (first node, total nodes) recorded right after
+//     the node count, so a shard knows which global ids it answers for
+//     and how large the full id space is. WriteShard emits it; a shard
+//     set loads exactly like version 2 (lazy, zero-copy) and addresses
+//     its sketches by global node id.
 const (
 	setMagic = "DSKSET"
 	// SetVersion1 is the eager envelope version (the only one before
@@ -504,8 +605,11 @@ const (
 	// writes it for compatibility with older readers.
 	SetVersion1 = 1
 	// SetVersion2 is the lazy-loading envelope version with the per-node
-	// label directory. WriteTo writes it by default.
+	// label directory. WriteTo writes it by default for unsharded sets.
 	SetVersion2 = 2
+	// SetVersion3 is the node-range shard envelope: version 2 plus the
+	// shard range. Only sharded sets (WriteShard slices) use it.
+	SetVersion3 = 3
 )
 
 func putUvarint(buf *bytes.Buffer, v uint64) {
@@ -520,21 +624,36 @@ func putStats(buf *bytes.Buffer, s Stats) {
 	putUvarint(buf, uint64(s.Words))
 }
 
-// WriteTo serializes the set in the current (version-2, lazy-loadable)
-// envelope format. It implements io.WriterTo. Use WriteToVersion to emit
-// a version-1 envelope for older readers.
+// WriteTo serializes the set in its current envelope format: version 2
+// (lazy-loadable) for an unsharded set, version 3 (version 2 plus the
+// shard range) for a node-range shard. It implements io.WriterTo. Use
+// WriteToVersion to emit a version-1 envelope for older readers.
 func (s *SketchSet) WriteTo(w io.Writer) (int64, error) {
+	if s.Sharded() {
+		return s.WriteToVersion(w, SetVersion3)
+	}
 	return s.WriteToVersion(w, SetVersion2)
 }
 
-// WriteToVersion serializes the set in the requested envelope version
-// (SetVersion1 or SetVersion2). Both versions are read back by
-// ReadSketchSet with byte-identical query results; they differ only in
-// load behavior (eager vs lazy decoding). A lazily loaded set writes its
-// stored blobs directly, without decoding pending labels.
+// WriteToVersion serializes the set in the requested envelope version.
+// All versions are read back by ReadSketchSet with byte-identical query
+// results; 1 and 2 differ only in load behavior (eager vs lazy
+// decoding), and 3 additionally records a shard's node range. A sharded
+// set can only be written as version 3 (older versions have nowhere to
+// record the range), and an unsharded set never is. A lazily loaded set
+// writes its stored blobs directly, without decoding pending labels.
 func (s *SketchSet) WriteToVersion(w io.Writer, version int) (int64, error) {
-	if version != SetVersion1 && version != SetVersion2 {
-		return 0, fmt.Errorf("distsketch: unknown envelope version %d (have %d and %d)", version, SetVersion1, SetVersion2)
+	if s.closed {
+		return 0, ErrSetClosed
+	}
+	if version < SetVersion1 || version > SetVersion3 {
+		return 0, fmt.Errorf("distsketch: unknown envelope version %d (have %d through %d)", version, SetVersion1, SetVersion3)
+	}
+	if s.Sharded() && version != SetVersion3 {
+		return 0, fmt.Errorf("distsketch: a node-range shard requires envelope version %d (version %d has no shard range)", SetVersion3, version)
+	}
+	if !s.Sharded() && version == SetVersion3 {
+		return 0, fmt.Errorf("distsketch: envelope version %d is for node-range shards; write an unsharded set as version %d", SetVersion3, SetVersion2)
 	}
 	n := s.N()
 	blob := func(u int) []byte {
@@ -547,6 +666,10 @@ func (s *SketchSet) WriteToVersion(w io.Writer, version int) (int64, error) {
 	var payload bytes.Buffer
 	payload.WriteByte(tagOfKind(s.kind))
 	putUvarint(&payload, uint64(n))
+	if version == SetVersion3 {
+		putUvarint(&payload, uint64(s.shardLo))
+		putUvarint(&payload, uint64(s.shardTotal))
+	}
 	putStats(&payload, s.cost.Total)
 	putUvarint(&payload, uint64(s.cost.DataMessages))
 	putUvarint(&payload, uint64(s.cost.EchoMessages))
@@ -569,7 +692,7 @@ func (s *SketchSet) WriteToVersion(w io.Writer, version int) (int64, error) {
 			putUvarint(&payload, uint64(len(b)))
 			payload.Write(b)
 		}
-	case SetVersion2:
+	case SetVersion2, SetVersion3:
 		// Directory first (blob length + label words per node), then the
 		// concatenated blobs: a reader can locate and size every label
 		// from the directory alone.
@@ -577,7 +700,7 @@ func (s *SketchSet) WriteToVersion(w io.Writer, version int) (int64, error) {
 		for u := 0; u < n; u++ {
 			blobs[u] = blob(u)
 			putUvarint(&payload, uint64(len(blobs[u])))
-			putUvarint(&payload, uint64(s.SketchWords(u)))
+			putUvarint(&payload, uint64(s.wordsAt(u)))
 		}
 		for u := 0; u < n; u++ {
 			payload.Write(blobs[u])
@@ -704,8 +827,8 @@ func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 		return nil, corrupt(0, "not a sketch set (bad magic)")
 	}
 	version := int(head[len(setMagic)])
-	if version != SetVersion1 && version != SetVersion2 {
-		return nil, corrupt(int64(len(setMagic)), "unsupported sketch-set version %d (this build reads versions %d and %d)", version, SetVersion1, SetVersion2)
+	if version < SetVersion1 || version > SetVersion3 {
+		return nil, corrupt(int64(len(setMagic)), "unsupported sketch-set version %d (this build reads versions %d through %d)", version, SetVersion1, SetVersion3)
 	}
 	br := newByteReader(cr)
 	plen, err := binary.ReadUvarint(br)
@@ -762,6 +885,24 @@ func parseSetPayload(payload []byte, version int, base int64) (*SketchSet, error
 		// rather than hand back a value whose every accessor is a trap.
 		return nil, fail("envelope holds no sketches")
 	}
+	if version == SetVersion3 {
+		lo, err := getUvarint(pr)
+		if err != nil {
+			return nil, fail("shard range: %v", err)
+		}
+		total, err := getUvarint(pr)
+		if err != nil {
+			return nil, fail("shard range: %v", err)
+		}
+		if lo > math.MaxInt32 || total > math.MaxInt32 {
+			return nil, fail("implausible shard range (first node %d of %d)", lo, total)
+		}
+		if total == 0 || lo+uint64(n) > total {
+			return nil, fail("shard range [%d,%d) exceeds %d total nodes", lo, lo+uint64(n), total)
+		}
+		set.shardLo = int(lo)
+		set.shardTotal = int(total)
+	}
 	if set.cost.Total, err = getStats(pr); err != nil {
 		return nil, fail("cost totals: %v", err)
 	}
@@ -805,17 +946,23 @@ func parseSetPayload(payload []byte, version int, base int64) (*SketchSet, error
 	if err != nil {
 		return nil, fail("net size: %v", err)
 	}
+	// Net ids are global node ids: a shard keeps the full set's net (the
+	// id space it validates against is the total, not the shard size).
+	idSpace := n
+	if set.shardTotal != 0 {
+		idSpace = set.shardTotal
+	}
 	for i := 0; i < netLen; i++ {
 		u, err := getUvarint(pr)
 		if err != nil {
 			return nil, fail("net node %d: %v", i, err)
 		}
-		if u >= uint64(n) {
-			return nil, fail("net node %d out of range [0,%d)", u, n)
+		if u >= uint64(idSpace) {
+			return nil, fail("net node %d out of range [0,%d)", u, idSpace)
 		}
 		set.net = append(set.net, int(u))
 	}
-	if version == SetVersion2 {
+	if version == SetVersion2 || version == SetVersion3 {
 		return parseLazySketches(set, payload, pr, n, base)
 	}
 	set.sketches = make([]*Sketch, n)
@@ -897,8 +1044,11 @@ func parseLazySketches(set *SketchSet, payload []byte, pr *bytes.Reader, n int, 
 		if vn <= 0 {
 			return nil, corrupt(lz.offsets[u], "node %d: unreadable sketch owner", u)
 		}
-		if owner != int64(u) {
-			return nil, corrupt(lz.offsets[u], "node %d: sketch owned by %d", u, owner)
+		// Slot u of a shard envelope holds global node shardLo+u; the
+		// blob's owner field must agree, or the shard would serve some
+		// other node's label under this id.
+		if owner != int64(set.shardLo+u) {
+			return nil, corrupt(lz.offsets[u], "node %d: sketch owned by %d", set.shardLo+u, owner)
 		}
 		lz.blobs[u] = blob
 	}
