@@ -224,7 +224,12 @@ func parseMappedEnvelope(data []byte) (*SketchSet, error) {
 	if got := crc32.ChecksumIEEE(payload); got != crc {
 		return nil, corrupt(base+int64(plen), "sketch-set checksum mismatch")
 	}
-	return parseSetPayload(payload, version, base)
+	set, err := parseSetPayload(payload, version, base)
+	if err != nil {
+		return nil, err
+	}
+	set.envCRC = crc
+	return set, nil
 }
 
 // quarantineOpen mirrors LoadSketchSet's corrupt-file handling for the

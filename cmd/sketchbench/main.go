@@ -28,7 +28,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"distsketch"
@@ -38,17 +40,18 @@ import (
 
 // benchReport is the -json output schema.
 type benchReport struct {
-	Scale        string          `json:"scale"`
-	GoVersion    string          `json:"go_version"`
-	GOMAXPROCS   int             `json:"gomaxprocs"`
-	Experiments  []benchRun      `json:"experiments"`
-	QueryPath    []queryPathRun  `json:"query_path,omitempty"`
-	ServerPath   []serverPathRun `json:"server_path,omitempty"`
-	LoadPath     []loadPathRun   `json:"load_path,omitempty"`
-	RoutedPath   []routedPathRun `json:"routed_path,omitempty"`
-	ChurnPath    []churnPathRun  `json:"churn_path,omitempty"`
-	TotalSeconds float64         `json:"total_seconds"`
-	OK           bool            `json:"ok"`
+	Scale        string           `json:"scale"`
+	GoVersion    string           `json:"go_version"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Experiments  []benchRun       `json:"experiments"`
+	QueryPath    []queryPathRun   `json:"query_path,omitempty"`
+	ServerPath   []serverPathRun  `json:"server_path,omitempty"`
+	LoadPath     []loadPathRun    `json:"load_path,omitempty"`
+	RoutedPath   []routedPathRun  `json:"routed_path,omitempty"`
+	RouterPath   []routerFaultRun `json:"router_path,omitempty"`
+	ChurnPath    []churnPathRun   `json:"churn_path,omitempty"`
+	TotalSeconds float64          `json:"total_seconds"`
+	OK           bool             `json:"ok"`
 }
 
 // benchRun is one experiment's wall-clock measurement.
@@ -97,6 +100,30 @@ type routedPathRun struct {
 	Overhead  float64 `json:"routing_overhead"`
 }
 
+// routerFaultRun measures the replicated router's availability under
+// one injected fault scenario: how many queries of a fixed mixed
+// workload answered versus degraded, the answered-path p99 latency,
+// and the failover counters the router accumulated. With one of two
+// replicas down, availability staying at 1.0 is the point of the
+// replica sets; with a whole replica set down, availability is the
+// fraction of pairs that avoid the dead range — the same per-pair
+// degradation a single dead shard has always had. The two slow-replica
+// rows price hedging: the same delayed replica with hedging on and
+// off, the p99 gap being the tail the hedge removes.
+type routerFaultRun struct {
+	Scenario     string  `json:"scenario"`
+	Shards       int     `json:"shards"`
+	Replicas     int     `json:"replicas"`
+	Queries      int     `json:"queries"`
+	Answered     int     `json:"answered"`
+	Degraded     int     `json:"degraded"`
+	Availability float64 `json:"availability"`
+	P99Ms        float64 `json:"answered_p99_ms"`
+	Retries      int64   `json:"retries"`
+	HedgesFired  int64   `json:"hedges_fired"`
+	HedgesWon    int64   `json:"hedges_won"`
+}
+
 // churnPathRun measures the batched repair pipeline under sustained
 // churn for one sketch kind: the same rounds of weight decreases applied
 // as whole batches (one clone-repair-verify per round), as per-edge
@@ -134,6 +161,7 @@ func main() {
 	serveBench := flag.Bool("servebench", true, "measure sketchserve HTTP query throughput (single vs batched)")
 	loadBench := flag.Bool("loadbench", true, "measure set startup (heap copy vs mmap open) and routed vs direct query throughput")
 	churnBench := flag.Bool("churnbench", false, "measure batched vs per-edge vs rebuild repair under sustained churn (rebuilds every kind repeatedly; opt-in)")
+	routerBench := flag.Bool("routerbench", false, "measure routed availability under replica faults and the hedge's tail win (injects faults and delays; opt-in)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -202,6 +230,17 @@ func main() {
 		fmt.Printf("%-10s  %6s  %14s  %14s  %9s\n", "kind", "shards", "direct q/s", "routed q/s", "overhead")
 		for _, r := range report.RoutedPath {
 			fmt.Printf("%-10s  %6d  %14.0f  %14.0f  %8.1fx\n", r.Kind, r.Shards, r.DirectQPS, r.RoutedQPS, r.Overhead)
+		}
+		fmt.Println()
+	}
+	if *routerBench {
+		report.RouterPath = runRouterBench()
+		fmt.Println("router path: availability under replica faults, 2 shards x 2 replicas on 256-node geometric (landmark)")
+		fmt.Printf("%-22s  %7s  %8s  %8s  %6s  %11s  %8s  %7s  %6s\n",
+			"scenario", "queries", "answered", "degraded", "avail", "p99 ms", "retries", "hedges", "won")
+		for _, r := range report.RouterPath {
+			fmt.Printf("%-22s  %7d  %8d  %8d  %6.3f  %11.2f  %8d  %7d  %6d\n",
+				r.Scenario, r.Queries, r.Answered, r.Degraded, r.Availability, r.P99Ms, r.Retries, r.HedgesFired, r.HedgesWon)
 		}
 		fmt.Println()
 	}
@@ -506,6 +545,175 @@ func runRouteBench() []routedPathRun {
 			DirectQPS: directQPS,
 			RoutedQPS: routedQPS,
 			Overhead:  directQPS / routedQPS,
+		})
+	}
+	return out
+}
+
+// benchFaultTransport injects per-host faults into the router's
+// upstream client: down hosts refuse connections, delayed hosts answer
+// late (respecting cancellation, so a hedge win tears the slow request
+// down).
+type benchFaultTransport struct {
+	mu    sync.Mutex
+	down  map[string]bool
+	delay map[string]time.Duration
+}
+
+func (ft *benchFaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	isDown := ft.down[req.URL.Host]
+	d := ft.delay[req.URL.Host]
+	ft.mu.Unlock()
+	if isDown {
+		return nil, fmt.Errorf("bench fault: %s is down", req.URL.Host)
+	}
+	if d > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// runRouterBench measures what the replica sets buy: a 2-shard fleet
+// with 2 replicas per shard is hammered with mixed same- and
+// cross-shard traffic under injected faults. One replica down must not
+// cost availability (failover covers it); a whole replica set down
+// degrades exactly the pairs that touch it; and a slow replica's tail
+// latency is priced with hedging on and off.
+func runRouterBench() []routerFaultRun {
+	const (
+		n        = 256
+		shards   = 2
+		replicas = 2
+	)
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routerbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	g, err := distsketch.NewRandomWeightedGraph(distsketch.FamilyGeometric, n, 1, 100, 1)
+	fail(err)
+	set, err := distsketch.Build(g, distsketch.Options{Kind: distsketch.KindLandmark, Eps: 0.25, Seed: 1})
+	fail(err)
+	dir, err := os.MkdirTemp("", "routerbench")
+	fail(err)
+	defer os.RemoveAll(dir)
+	paths, err := distsketch.SaveShards(dir, set, distsketch.EvenShardRanges(n, shards))
+	fail(err)
+
+	// replicaHosts[s][r] is replica r of shard s; each replica is an
+	// independent server over the same shard envelope.
+	routerShards := make([]serve.RouterShard, shards)
+	replicaHosts := make([][]string, shards)
+	for s, p := range paths {
+		var bases []string
+		for r := 0; r < replicas; r++ {
+			shard, err := distsketch.OpenSketchSet(p)
+			fail(err)
+			defer shard.Close()
+			srv, err := serve.New(shard, serve.Options{})
+			fail(err)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			bases = append(bases, ts.URL)
+			replicaHosts[s] = append(replicaHosts[s], strings.TrimPrefix(ts.URL, "http://"))
+		}
+		lo, hi := 0, 0
+		{
+			shard, err := distsketch.OpenSketchSet(p)
+			fail(err)
+			lo, hi = shard.NodeRange()
+			shard.Close()
+		}
+		routerShards[s] = serve.RouterShard{Replicas: bases, Range: distsketch.ShardRange{Lo: lo, Hi: hi}}
+	}
+
+	pair := func(i int) (int, int) { return i % n, (i*37 + 11) % n }
+	hammer := func(base string, client *http.Client, queries int) (answered, degraded int, p99ms float64) {
+		var lat []time.Duration
+		for i := 0; i < queries; i++ {
+			u, v := pair(i)
+			start := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/query?u=%d&v=%d", base, u, v))
+			if err != nil {
+				degraded++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				degraded++
+				continue
+			}
+			answered++
+			lat = append(lat, time.Since(start))
+		}
+		if len(lat) > 0 {
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99ms = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e6
+		}
+		return answered, degraded, p99ms
+	}
+
+	type scenario struct {
+		name    string
+		queries int
+		hedge   time.Duration // 0 = default on, negative = off
+		prep    func(ft *benchFaultTransport)
+	}
+	scenarios := []scenario{
+		{name: "baseline", queries: 1500, prep: func(ft *benchFaultTransport) {}},
+		{name: "one-replica-down", queries: 1500, prep: func(ft *benchFaultTransport) {
+			ft.down[replicaHosts[0][0]] = true
+		}},
+		{name: "replica-set-down", queries: 1500, prep: func(ft *benchFaultTransport) {
+			ft.down[replicaHosts[0][0]] = true
+			ft.down[replicaHosts[0][1]] = true
+		}},
+		{name: "slow-replica-hedged", queries: 300, hedge: 2 * time.Millisecond, prep: func(ft *benchFaultTransport) {
+			ft.delay[replicaHosts[0][0]] = 15 * time.Millisecond
+		}},
+		{name: "slow-replica-no-hedge", queries: 300, hedge: -1, prep: func(ft *benchFaultTransport) {
+			ft.delay[replicaHosts[0][0]] = 15 * time.Millisecond
+		}},
+	}
+
+	var out []routerFaultRun
+	for _, sc := range scenarios {
+		ft := &benchFaultTransport{down: map[string]bool{}, delay: map[string]time.Duration{}}
+		sc.prep(ft)
+		router, err := serve.NewRouter(routerShards, serve.RouterOptions{
+			Transport:    ft,
+			HedgeDelay:   sc.hedge,
+			RetryBackoff: time.Millisecond,
+		})
+		fail(err)
+		routerTS := httptest.NewServer(router.Handler())
+		answered, degraded, p99 := hammer(routerTS.URL, routerTS.Client(), sc.queries)
+		var stats serve.RouterStatsReply
+		resp, err := routerTS.Client().Get(routerTS.URL + "/stats")
+		fail(err)
+		fail(json.NewDecoder(resp.Body).Decode(&stats))
+		resp.Body.Close()
+		routerTS.Close()
+		router.Close()
+		out = append(out, routerFaultRun{
+			Scenario:     sc.name,
+			Shards:       shards,
+			Replicas:     replicas,
+			Queries:      sc.queries,
+			Answered:     answered,
+			Degraded:     degraded,
+			Availability: float64(answered) / float64(sc.queries),
+			P99Ms:        p99,
+			Retries:      stats.Retries,
+			HedgesFired:  stats.HedgesFired,
+			HedgesWon:    stats.HedgesWon,
 		})
 	}
 	return out

@@ -93,6 +93,11 @@ type StatsReply struct {
 	// EnvelopeVersion is the envelope version the served set was loaded
 	// from (0 when the set was built in process rather than loaded).
 	EnvelopeVersion int `json:"envelope_version"`
+	// EnvelopeChecksum is the crc32 of the envelope payload the served
+	// set was loaded from (0 for an in-process build). Replicated routing
+	// compares it across the replicas of a shard group: replicas serving
+	// the same node range must serve byte-identical envelopes.
+	EnvelopeChecksum uint32 `json:"envelope_checksum"`
 	// SketchesDecoded counts the set's currently decoded sketches; with
 	// a lazily loaded (version-2) envelope it grows from 0 toward Nodes
 	// as traffic touches labels.
@@ -486,15 +491,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cost := st.set.Cost()
 	decoded := st.set.DecodedSketches()
 	reply := StatsReply{
-		Kind:            string(st.set.Kind()),
-		Nodes:           st.set.N(),
-		MaxSketchWords:  st.set.MaxSketchWords(),
-		MeanSketchWords: st.set.MeanSketchWords(),
-		EnvelopeVersion: st.set.EnvelopeVersion(),
-		SketchesDecoded: decoded,
-		SketchesPending: st.set.N() - decoded,
-		Backing:         st.set.Backing(),
-		MappedBytes:     st.set.MappedBytes(),
+		Kind:             string(st.set.Kind()),
+		Nodes:            st.set.N(),
+		MaxSketchWords:   st.set.MaxSketchWords(),
+		MeanSketchWords:  st.set.MeanSketchWords(),
+		EnvelopeVersion:  st.set.EnvelopeVersion(),
+		EnvelopeChecksum: st.set.Checksum(),
+		SketchesDecoded:  decoded,
+		SketchesPending:  st.set.N() - decoded,
+		Backing:          st.set.Backing(),
+		MappedBytes:      st.set.MappedBytes(),
 		Cost: CostReply{
 			Rounds:          cost.Total.Rounds,
 			Messages:        cost.Total.Messages,

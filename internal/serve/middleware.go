@@ -1,24 +1,30 @@
 package serve
 
-// The robustness middleware stack. Three concerns, in the order they
-// wrap a request (recovery outermost):
+// The robustness middleware stack, shared by the shard server and the
+// router (both tiers fail the same ways). Three concerns, in the order
+// they wrap a request (recovery outermost):
 //
-//   - withRecover: a handler panic becomes a logged 500 and the process
-//     survives; a panic after the response already started aborts the
-//     connection instead, so the client can never mistake a truncated
-//     body for a complete 200.
-//   - withGate: a bounded in-flight admission gate. At most cap(sem)
-//     requests execute at once; the rest are shed immediately with 503 +
-//     Retry-After. Shedding beats queueing: an unbounded queue converts
-//     overload into memory growth and latencies the client has long
-//     given up on, while a fast 503 lets well-behaved clients back off.
-//   - withDeadline: attaches context.WithTimeout to the request so long
-//     executions (large batches, repairs) observe a budget.
+//   - recoverMiddleware: a handler panic becomes a logged 500 and the
+//     process survives; a panic after the response already started
+//     aborts the connection instead, so the client can never mistake a
+//     truncated body for a complete 200.
+//   - gateMiddleware: a bounded in-flight admission gate. At most
+//     cap(sem) requests execute at once; the rest are shed immediately
+//     with 503 + Retry-After. Shedding beats queueing: an unbounded
+//     queue converts overload into memory growth and latencies the
+//     client has long given up on, while a fast 503 lets well-behaved
+//     clients back off.
+//   - deadlineMiddleware: attaches context.WithTimeout to the request
+//     so long executions (large batches, repairs, upstream fan-outs)
+//     observe a budget.
 
 import (
 	"context"
+	"log"
 	"net/http"
 	"runtime/debug"
+	"sync/atomic"
+	"time"
 )
 
 // recoverWriter tracks whether the response has started, so the panic
@@ -38,9 +44,10 @@ func (rw *recoverWriter) Write(b []byte) (int, error) {
 	return rw.ResponseWriter.Write(b)
 }
 
-// withRecover converts a handler panic into a logged 500 so one poisoned
-// request cannot take down every other connection in the process.
-func (s *Server) withRecover(h http.Handler) http.Handler {
+// recoverMiddleware converts a handler panic into a logged 500 (counted
+// in panics) so one poisoned request cannot take down every other
+// connection in the process.
+func recoverMiddleware(logger *log.Logger, panics *atomic.Int64, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rw := &recoverWriter{ResponseWriter: w}
 		defer func() {
@@ -53,8 +60,8 @@ func (s *Server) withRecover(h http.Handler) http.Handler {
 				// re-panic and let net/http handle it quietly.
 				panic(p)
 			}
-			s.panics.Add(1)
-			s.logger.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			panics.Add(1)
+			logger.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 			if !rw.wrote {
 				writeError(rw, http.StatusInternalServerError, "internal error")
 				return
@@ -68,34 +75,48 @@ func (s *Server) withRecover(h http.Handler) http.Handler {
 	})
 }
 
-// withGate is the bounded admission gate; nil sem means unbounded.
-func (s *Server) withGate(h http.Handler) http.Handler {
-	if s.sem == nil {
+// gateMiddleware is the bounded admission gate (counted in shed); nil
+// sem means unbounded.
+func gateMiddleware(sem chan struct{}, shed *atomic.Int64, h http.Handler) http.Handler {
+	if sem == nil {
 		return h
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
 			h.ServeHTTP(w, r)
 		default:
-			s.shed.Add(1)
+			shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable,
-				"server at capacity (%d requests in flight); retry after backoff", cap(s.sem))
+				"server at capacity (%d requests in flight); retry after backoff", cap(sem))
 		}
 	})
 }
 
-// withDeadline attaches the per-request execution deadline. Handlers
-// with long loops (batch queries) poll r.Context() and cut off cleanly.
-func (s *Server) withDeadline(h http.Handler) http.Handler {
-	if s.reqTimeout <= 0 {
+// deadlineMiddleware attaches the per-request execution deadline.
+// Handlers with long loops (batch queries, upstream fan-outs) poll
+// r.Context() and cut off cleanly.
+func deadlineMiddleware(timeout time.Duration, h http.Handler) http.Handler {
+	if timeout <= 0 {
 		return h
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		h.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+func (s *Server) withRecover(h http.Handler) http.Handler {
+	return recoverMiddleware(s.logger, &s.panics, h)
+}
+
+func (s *Server) withGate(h http.Handler) http.Handler {
+	return gateMiddleware(s.sem, &s.shed, h)
+}
+
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	return deadlineMiddleware(s.reqTimeout, h)
 }

@@ -1,8 +1,8 @@
 package serve
 
-// Router is the thin fan-out tier in front of node-range shard servers:
-// it owns the shard map (which global ids each shard base URL answers
-// for) and resolves every (u,v) distance query by contacting at most 2
+// Router is the fan-out tier in front of node-range shard servers: it
+// owns the shard map (which global ids each replica group answers for)
+// and resolves every (u,v) distance query by contacting at most 2
 // shards — the paper's guarantee made topological. A pair whose two
 // nodes share a shard is forwarded whole (one upstream request, the
 // shard estimates locally); a cross-shard pair is resolved the way the
@@ -10,6 +10,14 @@ package serve
 // from its shard, v's from its shard, and estimate from the two blobs
 // alone. The router holds no labels, no graph, and no per-node state —
 // it is restartable in milliseconds and horizontally fungible.
+//
+// Each node range maps to a replica set, not a single server: upstream
+// calls retry across replicas, slow reads are hedged, a background
+// prober ejects and reinstates replicas, and the shard map refreshes
+// live when the fleet moves (see replica.go for the machinery). The
+// router's own handler carries the same robustness middleware as a
+// shard server: panic recovery, a bounded in-flight admission gate,
+// and a per-request deadline.
 //
 // Wire compatibility: the router serves the same /query (single and
 // batch), /sketch/{u}, /stats, /healthz and /readyz shapes as a shard
@@ -25,19 +33,58 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distsketch"
 )
 
-// RouterShard names one shard server: its base URL (scheme://host:port,
-// no trailing slash) and the global node range it owns.
+// Router resilience defaults. The usual option convention applies to
+// every duration and threshold below: zero means the default, negative
+// disables (where disabling is meaningful).
+const (
+	// DefaultAttemptTimeout bounds one upstream attempt; a replica
+	// slower than this is treated as down for that attempt.
+	DefaultAttemptTimeout = 2 * time.Second
+	// DefaultMaxAttempts is the total upstream attempts per call,
+	// cycling over the group's candidates.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the base of the jittered exponential
+	// backoff between retry attempts.
+	DefaultRetryBackoff = 25 * time.Millisecond
+	// DefaultHedgeDelay is how long the primary attempt may stay silent
+	// before a second replica is raced against it.
+	DefaultHedgeDelay = 50 * time.Millisecond
+	// DefaultFailThreshold ejects a replica after this many consecutive
+	// failures; DefaultReinstateAfter brings it back after this many
+	// consecutive successes.
+	DefaultFailThreshold  = 3
+	DefaultReinstateAfter = 2
+)
+
+// RouterShard names one shard: the global node range it owns and the
+// byte-identical replica servers answering it (base URLs of the form
+// scheme://host:port, no trailing slash). Base is the single-replica
+// shorthand kept for callers that predate replica sets; when Replicas
+// is empty the shard is the one server named by Base.
 type RouterShard struct {
-	Base  string
-	Range distsketch.ShardRange
+	Base     string
+	Replicas []string
+	Range    distsketch.ShardRange
+}
+
+// bases returns the shard's normalized replica list.
+func (sh RouterShard) bases() []string {
+	if len(sh.Replicas) > 0 {
+		return sh.Replicas
+	}
+	if sh.Base != "" {
+		return []string{sh.Base}
+	}
+	return nil
 }
 
 // RouterOptions configures a Router.
@@ -47,58 +94,119 @@ type RouterOptions struct {
 	// transports here.
 	Transport http.RoundTripper
 	// MaxBatch caps the pairs accepted per POST /query request (default
-	// DefaultMaxBatch). Larger batches get 413.
+	// DefaultMaxBatch). Larger batches get 413 before any upstream call.
 	MaxBatch int
 	// Logger receives lifecycle lines. Nil means log.Default().
 	Logger *log.Logger
+
+	// AttemptTimeout bounds each upstream attempt (default
+	// DefaultAttemptTimeout; negative means no per-attempt bound — the
+	// request deadline still applies).
+	AttemptTimeout time.Duration
+	// MaxAttempts is the total attempts per upstream call across the
+	// shard's replicas (default DefaultMaxAttempts; negative means a
+	// single attempt, no retries).
+	MaxAttempts int
+	// RetryBackoff is the base backoff before the first retry, doubling
+	// per attempt with up to 50% jitter (default DefaultRetryBackoff;
+	// negative retries immediately).
+	RetryBackoff time.Duration
+	// HedgeDelay races a second replica against a primary attempt still
+	// silent after this long (default DefaultHedgeDelay; negative
+	// disables hedging).
+	HedgeDelay time.Duration
+	// ProbeInterval enables the background health prober: every
+	// interval each replica's /healthz and /stats are re-polled,
+	// ejections and reinstatements applied, and the shard map refreshed
+	// when the fleet's ranges moved. Zero or negative disables the
+	// prober (ejection and reinstatement still happen through live
+	// traffic). A router with the prober enabled must be Closed.
+	ProbeInterval time.Duration
+	// FailThreshold ejects a replica after this many consecutive
+	// failures (default DefaultFailThreshold). ReinstateAfter brings an
+	// ejected replica back after this many consecutive successes
+	// (default DefaultReinstateAfter).
+	FailThreshold  int
+	ReinstateAfter int
+
+	// MaxInFlight bounds concurrently executing requests; beyond it the
+	// router sheds with 503 + Retry-After (default DefaultMaxInFlight;
+	// negative means unbounded). Probes and /stats bypass the gate.
+	MaxInFlight int
+	// RequestTimeout is the whole-request execution deadline (default
+	// DefaultRequestTimeout; negative disables).
+	RequestTimeout time.Duration
 }
 
-// Router fans distance queries out to node-range shard servers. Create
-// one with NewRouter and mount Handler on an http.Server. All methods
-// are safe for concurrent use.
+// Router fans distance queries out to node-range shard replica sets.
+// Create one with NewRouter and mount Handler on an http.Server. All
+// methods are safe for concurrent use. Close releases the background
+// prober and any in-flight map refresh.
 type Router struct {
-	shards   []RouterShard // sorted by Range.Lo; tiles [0, total)
-	total    int
 	client   *http.Client
 	maxBatch int
 	logger   *log.Logger
 	draining atomic.Bool
 
-	queries        atomic.Int64 // estimates served (single + batched)
-	sameShard      atomic.Int64 // pairs forwarded whole to one shard
-	crossShard     atomic.Int64 // pairs resolved by two-shard sketch exchange
-	upstreamErrors atomic.Int64 // shard requests that failed
+	attemptTimeout time.Duration
+	maxAttempts    int
+	retryBackoff   time.Duration
+	hedgeDelay     time.Duration
+	failThreshold  int
+	reinstateAfter int
+	reqTimeout     time.Duration
+	sem            chan struct{}
+
+	// smap is the immutable routing snapshot; requests load it once.
+	// groupBases remembers the configured replica groups for refreshes,
+	// and replicas is the persistent health registry keyed by base URL —
+	// ejection state survives map refreshes.
+	smap       atomic.Pointer[shardMap]
+	groupBases [][]string
+	replicas   map[string]*replica
+	refreshMu  sync.Mutex
+	refreshing atomic.Bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	queries         atomic.Int64 // estimates served (single + batched)
+	sameShard       atomic.Int64 // pairs forwarded whole to one shard
+	crossShard      atomic.Int64 // pairs resolved by two-shard sketch exchange
+	upstreamErrors  atomic.Int64 // upstream attempts that failed
+	retries         atomic.Int64 // upstream attempts beyond each call's first
+	hedgesFired     atomic.Int64 // hedge attempts launched against a slow primary
+	hedgesWon       atomic.Int64 // hedge attempts that answered first
+	probes          atomic.Int64 // prober sweeps completed
+	mapRefreshes    atomic.Int64 // shard-map refreshes applied
+	mapRefreshFails atomic.Int64 // shard-map refreshes that kept the old map
+	staleMapHits    atomic.Int64 // upstream 421s proving the map stale
+	shed            atomic.Int64 // requests shed by the admission gate
+	panics          atomic.Int64 // handler panics recovered
+
+	queryHook func() // test seam: runs at the head of query handlers
 }
 
-// NewRouter creates a router over the given shard servers. The shard
-// ranges must exactly tile a [0, total) id space — every node owned by
-// exactly one shard — or routing would silently drop or double-answer
-// ids; they may be given in any order.
+// NewRouter creates a router over the given shards. The shard ranges
+// must exactly tile a [0, total) id space — every node owned by exactly
+// one shard — or routing would silently drop or double-answer ids;
+// they may be given in any order. Every replica of a shard must serve
+// the same envelope bytes for that range (DiscoverShards verifies
+// this); the router assumes replicas of a group are interchangeable.
 func NewRouter(shards []RouterShard, opts RouterOptions) (*Router, error) {
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("serve: router needs at least one shard")
-	}
-	sorted := append([]RouterShard(nil), shards...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Range.Lo < sorted[j].Range.Lo })
-	want := 0
-	for i, sh := range sorted {
-		if sh.Base == "" {
-			return nil, fmt.Errorf("serve: shard %d has no base URL", i)
-		}
-		if sh.Range.Lo != want {
-			return nil, fmt.Errorf("serve: shard ranges do not tile the id space: %s does not start at %d", sh.Range, want)
-		}
-		if sh.Range.Hi <= sh.Range.Lo {
-			return nil, fmt.Errorf("serve: shard %d range %s is empty", i, sh.Range)
-		}
-		want = sh.Range.Hi
-	}
 	rt := &Router{
-		shards:   sorted,
-		total:    want,
-		client:   &http.Client{Transport: opts.Transport},
-		maxBatch: opts.MaxBatch,
-		logger:   opts.Logger,
+		client:         &http.Client{Transport: opts.Transport},
+		maxBatch:       opts.MaxBatch,
+		logger:         opts.Logger,
+		attemptTimeout: opts.AttemptTimeout,
+		maxAttempts:    opts.MaxAttempts,
+		retryBackoff:   opts.RetryBackoff,
+		hedgeDelay:     opts.HedgeDelay,
+		failThreshold:  opts.FailThreshold,
+		reinstateAfter: opts.ReinstateAfter,
+		reqTimeout:     opts.RequestTimeout,
+		replicas:       make(map[string]*replica),
 	}
 	if rt.maxBatch <= 0 {
 		rt.maxBatch = DefaultMaxBatch
@@ -106,71 +214,195 @@ func NewRouter(shards []RouterShard, opts RouterOptions) (*Router, error) {
 	if rt.logger == nil {
 		rt.logger = log.Default()
 	}
+	if rt.attemptTimeout == 0 {
+		rt.attemptTimeout = DefaultAttemptTimeout
+	}
+	switch {
+	case rt.maxAttempts == 0:
+		rt.maxAttempts = DefaultMaxAttempts
+	case rt.maxAttempts < 0:
+		rt.maxAttempts = 1
+	}
+	switch {
+	case rt.retryBackoff == 0:
+		rt.retryBackoff = DefaultRetryBackoff
+	case rt.retryBackoff < 0:
+		rt.retryBackoff = 0
+	}
+	if rt.hedgeDelay == 0 {
+		rt.hedgeDelay = DefaultHedgeDelay
+	}
+	if rt.failThreshold <= 0 {
+		rt.failThreshold = DefaultFailThreshold
+	}
+	if rt.reinstateAfter <= 0 {
+		rt.reinstateAfter = DefaultReinstateAfter
+	}
+	if rt.reqTimeout == 0 {
+		rt.reqTimeout = DefaultRequestTimeout
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if maxInFlight > 0 {
+		rt.sem = make(chan struct{}, maxInFlight)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one shard")
+	}
+	groups := make([]*replicaGroup, 0, len(shards))
+	rt.groupBases = make([][]string, 0, len(shards))
+	for i, sh := range shards {
+		bases := sh.bases()
+		if len(bases) == 0 {
+			return nil, fmt.Errorf("serve: shard %d has no base URL", i)
+		}
+		seen := make(map[string]bool, len(bases))
+		uniq := make([]string, 0, len(bases))
+		reps := make([]*replica, 0, len(bases))
+		for _, b := range bases {
+			if b == "" {
+				return nil, fmt.Errorf("serve: shard %d has an empty replica URL", i)
+			}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			uniq = append(uniq, b)
+			rep := rt.replicas[b]
+			if rep == nil {
+				rep = &replica{base: b, healthy: true}
+				rt.replicas[b] = rep
+			}
+			reps = append(reps, rep)
+		}
+		rt.groupBases = append(rt.groupBases, uniq)
+		groups = append(groups, &replicaGroup{rng: sh.Range, replicas: reps})
+	}
+	m, err := buildShardMap(groups)
+	if err != nil {
+		return nil, err
+	}
+	rt.smap.Store(m)
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	if opts.ProbeInterval > 0 {
+		rt.startProber(opts.ProbeInterval)
+	}
 	return rt, nil
 }
 
-// TotalNodes returns the size of the routed id space.
-func (rt *Router) TotalNodes() int { return rt.total }
+// Close stops the background prober and any in-flight map refresh and
+// waits for them. Idempotent; safe on a router without a prober.
+func (rt *Router) Close() {
+	rt.cancel()
+	rt.wg.Wait()
+}
 
-// Shards returns the routed shard map, sorted by range.
-func (rt *Router) Shards() []RouterShard { return append([]RouterShard(nil), rt.shards...) }
+// TotalNodes returns the size of the routed id space.
+func (rt *Router) TotalNodes() int { return rt.smap.Load().total }
+
+// Shards returns the current routed shard map, sorted by range.
+func (rt *Router) Shards() []RouterShard {
+	m := rt.smap.Load()
+	out := make([]RouterShard, len(m.groups))
+	for i, g := range m.groups {
+		bases := make([]string, len(g.replicas))
+		for j, rep := range g.replicas {
+			bases[j] = rep.base
+		}
+		out[i] = RouterShard{Base: bases[0], Replicas: bases, Range: g.rng}
+	}
+	return out
+}
 
 // BeginDrain flips /readyz to 503 so load balancers stop routing new
 // traffic here; in-flight fan-outs finish.
 func (rt *Router) BeginDrain() { rt.draining.Store(true) }
 
-// shardOf returns the index of the shard owning global node u. u must
-// be in [0, total).
-func (rt *Router) shardOf(u int) int {
-	i := sort.Search(len(rt.shards), func(i int) bool { return rt.shards[i].Range.Hi > u })
-	return i
-}
-
-// checkNode validates u against the routed id space.
-func (rt *Router) checkNode(u int) error {
-	if u < 0 || u >= rt.total {
-		return fmt.Errorf("node %d outside [0,%d): %w", u, rt.total, distsketch.ErrNodeRange)
+// checkNode validates u against the routed id space. The message
+// matches the facade's own out-of-range error byte for byte, so a
+// client sees the same 404 body through the router as it would asking
+// a full-set server directly.
+func checkRoutedNode(m *shardMap, u int) error {
+	if u < 0 || u >= m.total {
+		return fmt.Errorf("distsketch: node %d outside [0,%d): %w", u, m.total, distsketch.ErrNodeRange)
 	}
 	return nil
 }
 
-// DiscoverShards builds a router's shard map by asking each base URL's
-// /stats for its shard range. A base serving an unsharded full set
-// reports no range and is mapped as one shard covering [0, nodes) — a
-// router over a single full server routes everything to it, so the
+// splitReplicaSpec splits one shard spec "url|url|..." into its replica
+// base URLs, trimming whitespace and dropping empty segments.
+func splitReplicaSpec(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, "|") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DiscoverShards builds a router's shard map by asking each shard
+// spec's servers for their /stats. A spec is one or more replica base
+// URLs joined with "|"; the reachable replicas of a group must agree
+// on node range and envelope checksum (replica sets promise
+// byte-identical answers), and a group is only undiscoverable when
+// every replica of it is unreachable — a single down replica at boot
+// does not block the router. A server serving an unsharded full set
+// reports no range and is mapped as one shard covering [0, nodes), so
+// a router over a single full server routes everything to it and the
 // two topologies stay interchangeable. The discovered shards are
 // validated by NewRouter, not here.
-func DiscoverShards(ctx context.Context, bases []string, client *http.Client) ([]RouterShard, error) {
+func DiscoverShards(ctx context.Context, specs []string, client *http.Client) ([]RouterShard, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	shards := make([]RouterShard, 0, len(bases))
-	for _, base := range bases {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	shards := make([]RouterShard, 0, len(specs))
+	for _, spec := range specs {
+		group := splitReplicaSpec(spec)
+		if len(group) == 0 {
+			return nil, fmt.Errorf("serve: shard spec %q names no replica URLs", spec)
+		}
+		rng, _, err := discoverGroup(ctx, client, group)
 		if err != nil {
-			return nil, fmt.Errorf("serve: discovering %s: %w", base, err)
+			return nil, fmt.Errorf("serve: discovering %s: %w", spec, err)
 		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, fmt.Errorf("serve: discovering %s: %w", base, err)
-		}
-		var stats StatsReply
-		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&stats)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("serve: discovering %s: /stats answered %d", base, resp.StatusCode)
-		}
-		if decErr != nil {
-			return nil, fmt.Errorf("serve: discovering %s: decoding /stats: %w", base, decErr)
-		}
-		r := distsketch.ShardRange{Lo: 0, Hi: stats.Nodes}
-		if stats.Shard != nil {
-			r = distsketch.ShardRange{Lo: stats.Shard.Lo, Hi: stats.Shard.Hi}
-		}
-		shards = append(shards, RouterShard{Base: base, Range: r})
+		shards = append(shards, RouterShard{Base: group[0], Replicas: group, Range: rng})
 	}
 	return shards, nil
 }
+
+// fetchUpstreamStats decodes one upstream server's /stats.
+func fetchUpstreamStats(ctx context.Context, client *http.Client, base string) (*StatsReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		drainBody(resp)
+		return nil, fmt.Errorf("%s/stats answered %d", base, resp.StatusCode)
+	}
+	var stats StatsReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("decoding %s/stats: %w", base, err)
+	}
+	return &stats, nil
+}
+
+// drainBody discards a bounded remainder of a response body so the
+// connection can be reused, then closes it.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+}
+
+func drainClose(resp *http.Response) { drainBody(resp) }
 
 // RouterStatsReply is the router's GET /stats response.
 type RouterStatsReply struct {
@@ -184,74 +416,129 @@ type RouterStatsReply struct {
 	// requests: fan-out never exceeds 2 shards per pair.
 	SameShardPairs  int64 `json:"same_shard_pairs"`
 	CrossShardPairs int64 `json:"cross_shard_pairs"`
-	// UpstreamErrors counts shard requests that failed (network errors
-	// and non-200 answers).
+	// UpstreamErrors counts upstream attempts that failed (network
+	// errors, per-attempt timeouts, and non-200 answers). Retries counts
+	// attempts beyond each call's first; HedgesFired/HedgesWon count
+	// hedge attempts raced against a slow primary and how many answered
+	// first.
 	UpstreamErrors int64 `json:"upstream_errors"`
-	Draining       bool  `json:"draining"`
+	Retries        int64 `json:"retries"`
+	HedgesFired    int64 `json:"hedges_fired"`
+	HedgesWon      int64 `json:"hedges_won"`
+	// Probes counts prober sweeps; MapRefreshes counts shard-map
+	// refreshes applied, MapRefreshFailures ones that kept the old map,
+	// and StaleMapHits upstream 421 answers proving the map stale (each
+	// schedules a refresh).
+	Probes             int64 `json:"probes"`
+	MapRefreshes       int64 `json:"map_refreshes"`
+	MapRefreshFailures int64 `json:"map_refresh_failures"`
+	StaleMapHits       int64 `json:"stale_map_hits"`
+	// RequestsShed counts requests refused by the admission gate;
+	// PanicsRecovered counts handler panics converted to 500s.
+	RequestsShed    int64 `json:"requests_shed"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Draining        bool  `json:"draining"`
 }
 
 // RouterShardInfo is one shard map entry in the router's /stats.
 type RouterShardInfo struct {
-	Base string `json:"base"`
-	Lo   int    `json:"lo"`
-	Hi   int    `json:"hi"`
+	Lo       int                 `json:"lo"`
+	Hi       int                 `json:"hi"`
+	Replicas []RouterReplicaInfo `json:"replicas"`
 }
 
-// Handler returns the router's route table. The shapes mirror a shard
-// server's, so clients cannot tell the two apart.
+// RouterReplicaInfo is one replica's health as the router sees it.
+type RouterReplicaInfo struct {
+	Base                string `json:"base"`
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Failures            int64  `json:"failures"`
+	Ejections           int64  `json:"ejections"`
+}
+
+// Handler returns the router's route table wrapped in the same
+// middleware stack a shard server carries: panic recovery outermost,
+// then the admission gate and per-request deadline on query-serving
+// routes. Probes and /stats bypass the gate — an overloaded router
+// must still answer its health checks, or the load balancer would
+// eject the tier that is merely busy.
 func (rt *Router) Handler() http.Handler {
+	guard := func(h http.HandlerFunc) http.Handler {
+		return gateMiddleware(rt.sem, &rt.shed, deadlineMiddleware(rt.reqTimeout, h))
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", rt.handleQuery)
-	mux.HandleFunc("POST /query", rt.handleBatch)
-	mux.HandleFunc("GET /sketch/{u}", rt.handleSketch)
-	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.Handle("GET /query", guard(rt.handleQuery))
+	mux.Handle("POST /query", guard(rt.handleBatch))
+	mux.Handle("GET /sketch/{u}", guard(rt.handleSketch))
+	mux.Handle("GET /stats", deadlineMiddleware(rt.reqTimeout, http.HandlerFunc(rt.handleStats)))
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
-	return mux
+	return recoverMiddleware(rt.logger, &rt.panics, mux)
 }
 
-// upstreamError classifies a failed shard request for the reply and
-// bumps the counter.
-func (rt *Router) upstreamError(shard RouterShard, err error) error {
-	rt.upstreamErrors.Add(1)
-	return fmt.Errorf("shard %s %s: %v", shard.Range, shard.Base, err)
-}
-
-// fetchSketch gets global node u's wire sketch from its owning shard.
-func (rt *Router) fetchSketch(ctx context.Context, u int) ([]byte, error) {
-	sh := rt.shards[rt.shardOf(u)]
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.Base+"/sketch/"+strconv.Itoa(u), nil)
-	if err != nil {
-		return nil, rt.upstreamError(sh, err)
+// classifyUpstream turns a non-200 upstream answer into the right kind
+// of error: 5xx (and 429) are replica faults — retried on the next
+// candidate and charged to the replica's health; 421 means the
+// replica is healthy but the router's shard map is stale, so a refresh
+// is scheduled and the call fails without blaming the replica; any
+// other status is an answer the upstream produced deliberately and a
+// byte-identical replica would repeat, so it is terminal.
+func (rt *Router) classifyUpstream(resp *http.Response, what string) error {
+	var reply errorReply
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
+	if reply.Error == "" {
+		reply.Error = http.StatusText(resp.StatusCode)
 	}
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return nil, rt.upstreamError(sh, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var reply errorReply
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
-		if reply.Error == "" {
-			reply.Error = http.StatusText(resp.StatusCode)
+	switch {
+	case resp.StatusCode == http.StatusMisdirectedRequest:
+		rt.staleMapHits.Add(1)
+		rt.kickRefresh()
+		hint := ""
+		if reply.Shard != nil {
+			hint = fmt.Sprintf(" (it owns [%d,%d) of %d)", reply.Shard.Lo, reply.Shard.Hi, reply.Shard.Total)
 		}
-		return nil, rt.upstreamError(sh, fmt.Errorf("/sketch/%d answered %d: %s", u, resp.StatusCode, reply.Error))
+		return fmt.Errorf("shard map stale: %s answered 421%s: %s; refresh scheduled", what, hint, reply.Error)
+	case resp.StatusCode >= http.StatusInternalServerError || resp.StatusCode == http.StatusTooManyRequests:
+		return faultf("%s answered %d: %s", what, resp.StatusCode, reply.Error)
+	default:
+		rt.upstreamErrors.Add(1)
+		return fmt.Errorf("%s answered %d: %s", what, resp.StatusCode, reply.Error)
 	}
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
-	if err != nil {
-		return nil, rt.upstreamError(sh, err)
-	}
-	return blob, nil
 }
 
-// queryPair resolves one validated pair: forwarded whole when both
-// nodes share a shard, sketch-exchange across exactly two shards
-// otherwise.
-func (rt *Router) queryPair(ctx context.Context, u, v int, fetch func(context.Context, int) ([]byte, error)) (distsketch.Dist, error) {
-	su, sv := rt.shardOf(u), rt.shardOf(v)
-	if su == sv {
+// fetchSketch gets global node u's wire sketch from its owning shard's
+// replica set.
+func (rt *Router) fetchSketch(ctx context.Context, m *shardMap, u int) ([]byte, error) {
+	g := m.groupOf(u)
+	return doReplicated(rt, ctx, g, func(ctx context.Context, base string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/sketch/"+strconv.Itoa(u), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return nil, &upstreamFault{err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, rt.classifyUpstream(resp, fmt.Sprintf("/sketch/%d", u))
+		}
+		blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+		if err != nil {
+			return nil, &upstreamFault{err}
+		}
+		return blob, nil
+	})
+}
+
+// queryPair resolves one validated pair against a map snapshot:
+// forwarded whole when both nodes share a shard, sketch-exchange
+// across exactly two shards otherwise.
+func (rt *Router) queryPair(ctx context.Context, m *shardMap, u, v int, fetch func(context.Context, int) ([]byte, error)) (distsketch.Dist, error) {
+	gu, gv := m.groupOf(u), m.groupOf(v)
+	if gu == gv {
 		rt.sameShard.Add(1)
-		return rt.forwardQuery(ctx, rt.shards[su], u, v)
+		return rt.forwardQuery(ctx, gu, u, v)
 	}
 	rt.crossShard.Add(1)
 	bu, err := fetch(ctx, u)
@@ -272,41 +559,43 @@ func (rt *Router) queryPair(ctx context.Context, u, v int, fetch func(context.Co
 	return d, nil
 }
 
-// forwardQuery relays a same-shard pair to its shard's single-query
-// endpoint and decodes the estimate.
-func (rt *Router) forwardQuery(ctx context.Context, sh RouterShard, u, v int) (distsketch.Dist, error) {
-	url := fmt.Sprintf("%s/query?u=%d&v=%d", sh.Base, u, v)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return 0, rt.upstreamError(sh, err)
-	}
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return 0, rt.upstreamError(sh, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var reply errorReply
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
-		if reply.Error == "" {
-			reply.Error = http.StatusText(resp.StatusCode)
+// forwardQuery relays a same-shard pair to the owning replica set's
+// single-query endpoint and decodes the estimate.
+func (rt *Router) forwardQuery(ctx context.Context, g *replicaGroup, u, v int) (distsketch.Dist, error) {
+	return doReplicated(rt, ctx, g, func(ctx context.Context, base string) (distsketch.Dist, error) {
+		url := fmt.Sprintf("%s/query?u=%d&v=%d", base, u, v)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, err
 		}
-		return 0, rt.upstreamError(sh, fmt.Errorf("/query answered %d: %s", resp.StatusCode, reply.Error))
-	}
-	var res QueryResult
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&res); err != nil {
-		return 0, rt.upstreamError(sh, err)
-	}
-	if res.Error != "" {
-		return 0, rt.upstreamError(sh, errors.New(res.Error))
-	}
-	if res.Unreachable || res.Estimate == nil {
-		return distsketch.Inf, nil
-	}
-	return *res.Estimate, nil
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return 0, &upstreamFault{err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, rt.classifyUpstream(resp, "/query")
+		}
+		var res QueryResult
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&res); err != nil {
+			return 0, &upstreamFault{err}
+		}
+		if res.Error != "" {
+			rt.upstreamErrors.Add(1)
+			return 0, errors.New(res.Error)
+		}
+		if res.Unreachable || res.Estimate == nil {
+			return distsketch.Inf, nil
+		}
+		return *res.Estimate, nil
+	})
 }
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if rt.queryHook != nil {
+		rt.queryHook()
+	}
+	m := rt.smap.Load()
 	u, err := queryParam(r, "u")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -317,15 +606,17 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := rt.checkNode(u); err != nil {
+	if err := checkRoutedNode(m, u); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	if err := rt.checkNode(v); err != nil {
+	if err := checkRoutedNode(m, v); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	d, err := rt.queryPair(r.Context(), u, v, rt.fetchSketch)
+	d, err := rt.queryPair(r.Context(), m, u, v, func(ctx context.Context, n int) ([]byte, error) {
+		return rt.fetchSketch(ctx, m, n)
+	})
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -337,11 +628,17 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handleBatch fans a pair batch out across the shards: same-shard pairs
 // are grouped and forwarded as one sub-batch per shard, cross-shard
 // pairs share one sketch fetch per distinct node (memoized for the
-// whole request). Per-pair failures — including a shard being down —
-// land in that pair's Error field; the batch as a whole still answers
-// 200, so one dead shard degrades the answers it owns instead of the
-// whole request.
+// whole request). Per-pair failures — including a whole replica set
+// being down — land in that pair's Error field; the batch as a whole
+// still answers 200, so one dead shard degrades the answers it owns
+// instead of the whole request. The entire batch routes against one
+// map snapshot, so a concurrent refresh never splits a request across
+// two world views.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if rt.queryHook != nil {
+		rt.queryHook()
+	}
+	m := rt.smap.Load()
 	r.Body = http.MaxBytesReader(w, r.Body, int64(rt.maxBatch)*64+1024)
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -358,32 +655,33 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]QueryResult, len(req.Pairs))
 	dists := make([]distsketch.Dist, len(req.Pairs))
-	// Group same-shard pairs per shard; collect cross-shard pairs.
-	groups := make(map[int][]int)
+	// Group same-shard pairs per replica group; collect cross-shard
+	// pairs.
+	groups := make(map[*replicaGroup][]int)
 	var cross []int
 	for i, p := range req.Pairs {
-		if err := rt.checkNode(p.U); err != nil {
+		if err := checkRoutedNode(m, p.U); err != nil {
 			results[i] = resultInto(p.U, p.V, 0, err, &dists[i])
 			continue
 		}
-		if err := rt.checkNode(p.V); err != nil {
+		if err := checkRoutedNode(m, p.V); err != nil {
 			results[i] = resultInto(p.U, p.V, 0, err, &dists[i])
 			continue
 		}
-		su, sv := rt.shardOf(p.U), rt.shardOf(p.V)
-		if su == sv {
-			groups[su] = append(groups[su], i)
+		gu, gv := m.groupOf(p.U), m.groupOf(p.V)
+		if gu == gv {
+			groups[gu] = append(groups[gu], i)
 		} else {
 			cross = append(cross, i)
 		}
 	}
 	var wg sync.WaitGroup
-	for si, idxs := range groups {
+	for g, idxs := range groups {
 		wg.Add(1)
-		go func(si int, idxs []int) {
+		go func(g *replicaGroup, idxs []int) {
 			defer wg.Done()
-			rt.forwardSubBatch(r.Context(), rt.shards[si], req.Pairs, idxs, results, dists)
-		}(si, idxs)
+			rt.forwardSubBatch(r.Context(), g, req.Pairs, idxs, results, dists)
+		}(g, idxs)
 	}
 	// Cross-shard pairs: one memoized sketch fetch per distinct node for
 	// the whole batch, then local estimates.
@@ -391,10 +689,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			memo := newSketchMemo(rt)
+			memo := newSketchMemo(rt, m)
 			for _, i := range cross {
 				p := req.Pairs[i]
-				d, err := rt.queryPair(r.Context(), p.U, p.V, memo.fetch)
+				d, err := rt.queryPair(r.Context(), m, p.U, p.V, memo.fetch)
 				results[i] = resultInto(p.U, p.V, d, err, &dists[i])
 			}
 		}()
@@ -410,16 +708,17 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchReply{Results: results})
 }
 
-// forwardSubBatch posts the pairs at idxs (all owned by sh) as one
-// sub-batch and scatters the replies back to their request positions.
-// A failed sub-batch marks each of its pairs with the failure.
-func (rt *Router) forwardSubBatch(ctx context.Context, sh RouterShard, pairs []QueryPair, idxs []int, results []QueryResult, dists []distsketch.Dist) {
+// forwardSubBatch posts the pairs at idxs (all owned by g's range) as
+// one sub-batch and scatters the replies back to their request
+// positions. A failed sub-batch marks each of its pairs with the
+// failure.
+func (rt *Router) forwardSubBatch(ctx context.Context, g *replicaGroup, pairs []QueryPair, idxs []int, results []QueryResult, dists []distsketch.Dist) {
 	sub := BatchRequest{Pairs: make([]QueryPair, len(idxs))}
 	for k, i := range idxs {
 		sub.Pairs[k] = pairs[i]
 	}
 	rt.sameShard.Add(int64(len(idxs)))
-	reply, err := rt.postBatch(ctx, sh, sub)
+	reply, err := rt.postBatch(ctx, g, sub)
 	if err != nil {
 		for _, i := range idxs {
 			p := pairs[i]
@@ -440,49 +739,48 @@ func (rt *Router) forwardSubBatch(ctx context.Context, sh RouterShard, pairs []Q
 	}
 }
 
-func (rt *Router) postBatch(ctx context.Context, sh RouterShard, sub BatchRequest) (*BatchReply, error) {
+func (rt *Router) postBatch(ctx context.Context, g *replicaGroup, sub BatchRequest) (*BatchReply, error) {
 	body, err := json.Marshal(sub)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.Base+"/query", bytes.NewReader(body))
-	if err != nil {
-		return nil, rt.upstreamError(sh, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return nil, rt.upstreamError(sh, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var reply errorReply
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply)
-		if reply.Error == "" {
-			reply.Error = http.StatusText(resp.StatusCode)
+	return doReplicated(rt, ctx, g, func(ctx context.Context, base string) (*BatchReply, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
 		}
-		return nil, rt.upstreamError(sh, fmt.Errorf("/query answered %d: %s", resp.StatusCode, reply.Error))
-	}
-	var reply BatchReply
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<26)).Decode(&reply); err != nil {
-		return nil, rt.upstreamError(sh, err)
-	}
-	if len(reply.Results) != len(sub.Pairs) {
-		return nil, rt.upstreamError(sh, fmt.Errorf("sub-batch answered %d results for %d pairs", len(reply.Results), len(sub.Pairs)))
-	}
-	return &reply, nil
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return nil, &upstreamFault{err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, rt.classifyUpstream(resp, "/query")
+		}
+		var reply BatchReply
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<26)).Decode(&reply); err != nil {
+			return nil, &upstreamFault{err}
+		}
+		if len(reply.Results) != len(sub.Pairs) {
+			return nil, faultf("sub-batch answered %d results for %d pairs", len(reply.Results), len(sub.Pairs))
+		}
+		return &reply, nil
+	})
 }
 
 // sketchMemo caches wire sketches fetched during one batch, so a node
-// appearing in many cross-shard pairs is fetched once.
+// appearing in many cross-shard pairs is fetched once. It pins the
+// batch's map snapshot.
 type sketchMemo struct {
 	rt    *Router
+	m     *shardMap
 	blobs map[int][]byte
 	errs  map[int]error
 }
 
-func newSketchMemo(rt *Router) *sketchMemo {
-	return &sketchMemo{rt: rt, blobs: make(map[int][]byte), errs: make(map[int]error)}
+func newSketchMemo(rt *Router, m *shardMap) *sketchMemo {
+	return &sketchMemo{rt: rt, m: m, blobs: make(map[int][]byte), errs: make(map[int]error)}
 }
 
 func (m *sketchMemo) fetch(ctx context.Context, u int) ([]byte, error) {
@@ -492,7 +790,7 @@ func (m *sketchMemo) fetch(ctx context.Context, u int) ([]byte, error) {
 	if err, ok := m.errs[u]; ok {
 		return nil, err
 	}
-	b, err := m.rt.fetchSketch(ctx, u)
+	b, err := m.rt.fetchSketch(ctx, m.m, u)
 	if err != nil {
 		m.errs[u] = err
 		return nil, err
@@ -505,16 +803,17 @@ func (m *sketchMemo) fetch(ctx context.Context, u int) ([]byte, error) {
 // peer can fetch any node's sketch through the router with the same URL
 // shape it would use against a full server.
 func (rt *Router) handleSketch(w http.ResponseWriter, r *http.Request) {
+	m := rt.smap.Load()
 	u, err := strconv.Atoi(r.PathValue("u"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "node id %q is not an integer", r.PathValue("u"))
 		return
 	}
-	if err := rt.checkNode(u); err != nil {
+	if err := checkRoutedNode(m, u); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	blob, err := rt.fetchSketch(r.Context(), u)
+	blob, err := rt.fetchSketch(r.Context(), m, u)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -524,16 +823,39 @@ func (rt *Router) handleSketch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := rt.smap.Load()
 	reply := RouterStatsReply{
-		TotalNodes:      rt.total,
-		QueriesServed:   rt.queries.Load(),
-		SameShardPairs:  rt.sameShard.Load(),
-		CrossShardPairs: rt.crossShard.Load(),
-		UpstreamErrors:  rt.upstreamErrors.Load(),
-		Draining:        rt.draining.Load(),
+		TotalNodes:         m.total,
+		QueriesServed:      rt.queries.Load(),
+		SameShardPairs:     rt.sameShard.Load(),
+		CrossShardPairs:    rt.crossShard.Load(),
+		UpstreamErrors:     rt.upstreamErrors.Load(),
+		Retries:            rt.retries.Load(),
+		HedgesFired:        rt.hedgesFired.Load(),
+		HedgesWon:          rt.hedgesWon.Load(),
+		Probes:             rt.probes.Load(),
+		MapRefreshes:       rt.mapRefreshes.Load(),
+		MapRefreshFailures: rt.mapRefreshFails.Load(),
+		StaleMapHits:       rt.staleMapHits.Load(),
+		RequestsShed:       rt.shed.Load(),
+		PanicsRecovered:    rt.panics.Load(),
+		Draining:           rt.draining.Load(),
 	}
-	for _, sh := range rt.shards {
-		reply.Shards = append(reply.Shards, RouterShardInfo{Base: sh.Base, Lo: sh.Range.Lo, Hi: sh.Range.Hi})
+	for _, g := range m.groups {
+		info := RouterShardInfo{Lo: g.rng.Lo, Hi: g.rng.Hi}
+		for _, rep := range g.replicas {
+			rep.mu.Lock()
+			ri := RouterReplicaInfo{
+				Base:                rep.base,
+				Healthy:             rep.healthy,
+				ConsecutiveFailures: rep.consecFails,
+			}
+			rep.mu.Unlock()
+			ri.Failures = rep.failures.Load()
+			ri.Ejections = rep.ejections.Load()
+			info.Replicas = append(info.Replicas, ri)
+		}
+		reply.Shards = append(reply.Shards, info)
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
@@ -548,5 +870,5 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyReply{Ready: true, Nodes: rt.total})
+	writeJSON(w, http.StatusOK, ReadyReply{Ready: true, Nodes: rt.TotalNodes()})
 }

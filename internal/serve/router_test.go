@@ -112,6 +112,7 @@ func newRouterServer(t *testing.T, bases []string, ranges []distsketch.ShardRang
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(rt.Close)
 	ts := httptest.NewServer(rt.Handler())
 	t.Cleanup(ts.Close)
 	return ts

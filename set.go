@@ -110,6 +110,11 @@ type SketchSet struct {
 	// instead of touching a possibly unmapped region.
 	backing *backing
 	closed  bool
+	// envCRC is the crc32-IEEE checksum of the envelope payload the set
+	// was loaded from (0 for a set built in process). Replicated serving
+	// uses it as a cheap content-identity check: two replicas claiming
+	// the same node range must have loaded byte-identical envelopes.
+	envCRC uint32
 }
 
 // lazyLabels is the deferred-decode state of a version-2 envelope: the
@@ -370,6 +375,13 @@ func (s *SketchSet) MeanSketchWords() float64 {
 // from: SetVersion1 or SetVersion2 for sets read by ReadSketchSet, 0 for
 // a set built in process.
 func (s *SketchSet) EnvelopeVersion() int { return s.envVersion }
+
+// Checksum returns the crc32-IEEE checksum of the envelope payload the
+// set was loaded from, or 0 for a set built in process. Two replica
+// servers claiming the same node range should report equal nonzero
+// checksums — it is the cheap way to detect a replica serving the wrong
+// (or stale) envelope before routing traffic to it.
+func (s *SketchSet) Checksum() uint32 { return s.envCRC }
 
 // DecodedSketches reports how many of the set's sketches are currently
 // decoded: N() for built, eagerly loaded, or materialized sets; the
@@ -854,10 +866,16 @@ func ReadSketchSet(r io.Reader) (*SketchSet, error) {
 	if _, err := io.ReadFull(br, crc[:]); err != nil {
 		return nil, readFail(cr.n, "reading checksum", err)
 	}
-	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(crc[:]) {
+	got := crc32.ChecksumIEEE(payload)
+	if got != binary.LittleEndian.Uint32(crc[:]) {
 		return nil, corrupt(base+int64(plen), "sketch-set checksum mismatch")
 	}
-	return parseSetPayload(payload, version, base)
+	set, err := parseSetPayload(payload, version, base)
+	if err != nil {
+		return nil, err
+	}
+	set.envCRC = got
+	return set, nil
 }
 
 // parseSetPayload decodes a checksummed payload. base is the payload's
